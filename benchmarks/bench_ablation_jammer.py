@@ -1,0 +1,96 @@
+"""Ablation: jammer sweep strategies — beyond the paper's random sweep.
+
+The paper's jammer sweeps uniformly without replacement; its analysis
+(Eqs. 6-8) depends on that. This ablation swaps the sweep order for a
+deterministic rotation and for a memory-guided adaptive search, and
+measures the defence's success rate against each. Two victims are tested:
+the exact MDP optimum (hops uniformly — no pattern to learn) and a
+channel-preferring victim (the kind a lightly-trained DQN becomes).
+"""
+
+from conftest import BENCH_SLOTS, run_once
+
+from repro.analysis.tables import render_table
+from repro.core.envs import SweepJammingEnv
+from repro.core.mdp import MDPConfig
+from repro.core.metrics import SlotLog, evaluate_policy
+from repro.core.policy import ThresholdPolicy, policy_from_solution_map
+from repro.core.solver import value_iteration
+from repro.core.mdp import AntiJammingMDP
+from repro.jamming.strategies import make_strategy
+
+STRATEGIES = ("random", "sequential", "adaptive")
+
+
+def _uniform_victim_st(strategy_name: str, slots: int, seed: int) -> float:
+    cfg = MDPConfig(jammer_mode="max")
+    policy = policy_from_solution_map(
+        value_iteration(AntiJammingMDP(cfg)).policy_map()
+    )
+    env = SweepJammingEnv(
+        cfg,
+        seed=seed,
+        sweep_strategy=make_strategy(strategy_name, cfg.sweep_cycle, seed=seed),
+    )
+    return evaluate_policy(env, policy, slots=slots).success_rate
+
+
+def _preferring_victim_st(strategy_name: str, slots: int, seed: int) -> float:
+    # A victim that ping-pongs between two favourite channels when hopping.
+    cfg = MDPConfig(jammer_mode="max")
+    policy = ThresholdPolicy(threshold=3, stay_power_index=0, hop_power_index=0)
+    env = SweepJammingEnv(
+        cfg,
+        seed=seed,
+        sweep_strategy=make_strategy(strategy_name, cfg.sweep_cycle, seed=seed),
+    )
+    log = SlotLog()
+    channels = (0, 8)
+    current = 0
+    for _ in range(slots):
+        action = policy.action(env.state)
+        if action.hop:
+            current = channels[(channels.index(current) + 1) % 2]
+        _, _, info = env.step_index(
+            env.channel_power_to_action(current, action.power_index)
+        )
+        log.record(info)
+    return log.summary().success_rate
+
+
+def test_ablation_jammer_strategies(benchmark, report, bench_slots):
+    slots = min(bench_slots, 12_000)
+
+    def sweep():
+        rows = []
+        for name in STRATEGIES:
+            rows.append(
+                (
+                    name,
+                    _uniform_victim_st(name, slots, seed=5),
+                    _preferring_victim_st(name, slots, seed=6),
+                )
+            )
+        return rows
+
+    rows = run_once(benchmark, sweep)
+    report(
+        render_table(
+            ["sweep strategy", "S_T, uniform-hopping victim",
+             "S_T, channel-preferring victim"],
+            rows,
+            title="Ablation — jammer sweep strategy "
+            "(the adaptive jammer only gains against predictable victims)",
+        )
+    )
+    series = {name: (u, p) for name, u, p in rows}
+    # Against the uniform-hopping optimum, all strategies are within a few
+    # points: there is no pattern to exploit.
+    uniform = [series[n][0] for n in STRATEGIES]
+    assert max(uniform) - min(uniform) < 0.12
+    # Against the channel-preferring victim, the adaptive jammer is
+    # strictly more dangerous than the paper's random sweep.
+    assert series["adaptive"][1] < series["random"][1] - 0.05
+    # And the defence's lesson: unpredictable hopping neutralises the
+    # adaptive attacker.
+    assert series["adaptive"][0] > series["adaptive"][1]

@@ -1,0 +1,98 @@
+"""Ablation: the quantization optimisation of paper §II-A (Eqs. 1-2).
+
+The paper claims E(α) is convex and that the optimal scale can be found in
+O(M log M) with a bracketed search. This benchmark (a) times the search
+against a brute-force grid at equal accuracy, and (b) quantifies the
+fidelity gain of optimising α versus naive fixed scales.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis.tables import render_table
+from repro.phy.emulation import WaveformEmulator, optimize_alpha, quantization_error
+from repro.phy.qam import QAM64
+
+
+def _design_points(n=1000, seed=0):
+    rng = np.random.default_rng(seed)
+    return rng.standard_normal(n) + 1j * rng.standard_normal(n)
+
+
+def test_alpha_search_speed(benchmark):
+    pts = _design_points()
+    alpha = benchmark(optimize_alpha, pts)
+    assert alpha > 0
+
+
+def test_alpha_search_beats_grid_at_equal_accuracy(benchmark, report):
+    pts = _design_points()
+    alpha = optimize_alpha(pts)
+    e_search = quantization_error(pts, alpha)
+
+    # A 500-point grid over the same bracket: strictly more E() calls than
+    # the ~60 the ternary search needs, and no better. Timing the grid
+    # makes the search's advantage visible in the benchmark table.
+    def grid_search():
+        grid = np.linspace(
+            1e-3, 2 * np.abs(pts).max() / np.abs(QAM64.points).max(), 500
+        )
+        return min(quantization_error(pts, a) for a in grid)
+
+    e_grid = benchmark.pedantic(grid_search, rounds=1, iterations=1)
+    report(
+        render_table(
+            ["method", "E(alpha)", "E() evaluations"],
+            [
+                ["bracketed search (paper)", e_search, "~60"],
+                ["brute-force grid", e_grid, "500"],
+            ],
+            title="Quantization optimisation: search vs grid",
+        )
+    )
+    assert e_search <= e_grid * (1 + 1e-6)
+
+
+def test_optimized_alpha_fidelity_gain(benchmark, report):
+    emulator = WaveformEmulator()
+    designed, chips = emulator.design_from_bytes(b"\x12\x34\x56\x78\x9a\xbc")
+
+    result = benchmark.pedantic(
+        emulator.emulate,
+        args=(designed,),
+        kwargs={"target_chips": chips},
+        rounds=1,
+        iterations=1,
+    )
+
+    rows = [["optimised (Eq. 2)", result.alpha, result.quantization_error, result.evm]]
+    for scale in (0.33, 3.0):
+        naive = emulator.emulate(
+            designed, target_chips=chips, alpha=result.alpha * scale
+        )
+        rows.append(
+            [f"naive {scale} x alpha*", naive.alpha, naive.quantization_error, naive.evm]
+        )
+        # The paper's improvement claim: optimised quantization strictly
+        # lowers the residual quantization error E(alpha) versus arbitrary
+        # scales. (EVM is not monotone in alpha — an under-scaled waveform
+        # trivially bounds EVM at 1.0 by shrinking toward silence — so the
+        # fidelity claim is asserted on E(alpha).)
+        assert result.quantization_error < naive.quantization_error
+    report(
+        render_table(
+            ["quantization", "alpha", "E(alpha)", "EVM"],
+            rows,
+            title="EmuBee fidelity: optimised vs naive quantization scale",
+        )
+    )
+    # Emulation must stay inside the DSSS correction budget either way.
+    assert result.chip_error_rate is not None
+    assert result.chip_error_rate < 0.3
+
+
+@pytest.mark.parametrize("n_points", [100, 500, 2000])
+def test_search_cost_scales_gently(benchmark, n_points):
+    # O(M log M)-ish: cost per point should not blow up with M.
+    pts = _design_points(n_points, seed=n_points)
+    benchmark(optimize_alpha, pts)

@@ -1,0 +1,92 @@
+"""Fig. 11: the headline comparison and the jammer-cadence study.
+
+Fig. 11(a), paper numbers (3 s slots, max-power EmuBee jammer):
+  PSV FH 216 pkts/slot (37.6 % of no-jammer), Rand FH 311 (54.1 %),
+  RL FH 431 (78.5 %), no jammer 575 — i.e. RL is ~2x passive and ~1.39x
+  random. This benchmark trains the actual DQN (paper §IV-B) and runs all
+  four field experiments.
+
+Fig. 11(b): with the Tx slot fixed at 3 s, a faster jammer (0.5 s) finds
+and jams the victim mid-slot and goodput collapses; performance is best
+near the matched cadence.
+"""
+
+import pytest
+from conftest import DQN_EPISODES, run_once
+
+from repro.analysis.figures import (
+    fig11a_scheme_comparison,
+    fig11b_jammer_timeslot,
+    train_fig11_agent,
+)
+from repro.analysis.tables import render_table
+
+
+@pytest.fixture(scope="module")
+def trained_agent():
+    return train_fig11_agent(episodes=DQN_EPISODES, seed=0)
+
+
+def test_fig11a_scheme_comparison(benchmark, report, field_slots, trained_agent):
+    results = run_once(
+        benchmark,
+        fig11a_scheme_comparison,
+        agent=trained_agent,
+        slots=field_slots,
+        seed=0,
+    )
+
+    clean = results["w/o Jx"]["goodput"]
+    rows = [
+        [name, vals["goodput"], vals["success_rate"],
+         100.0 * vals["goodput"] / clean]
+        for name, vals in results.items()
+    ]
+    report(
+        render_table(
+            ["scheme", "goodput (pkts/slot)", "S_T", "% of no-jammer"],
+            rows,
+            title="Fig. 11(a) — anti-jamming scheme comparison "
+            "(paper: PSV 216 / Rand 311 / RL 431 / w/o Jx 575 pkts/slot "
+            "= 37.6% / 54.1% / 78.5%)",
+            digits=1,
+        )
+    )
+
+    psv = results["PSV FH"]["goodput"]
+    rand = results["Rand FH"]["goodput"]
+    rl = results["RL FH"]["goodput"]
+    # Ordering and rough factors: RL ~2x PSV, ~1.39x Rand in the paper.
+    assert rl > rand > psv
+    assert 1.4 < rl / psv < 3.5
+    assert 1.05 < rl / rand < 2.2
+    # Fractions of the no-jammer ceiling.
+    assert 0.55 < rl / clean < 0.95  # paper: 78.5 %
+    assert 0.35 < rand / clean < 0.70  # paper: 54.1 %
+    assert 0.22 < psv / clean < 0.50  # paper: 37.6 %
+
+
+def test_fig11b_jammer_timeslot(benchmark, report, field_slots, trained_agent):
+    rows = run_once(
+        benchmark,
+        fig11b_jammer_timeslot,
+        agent=trained_agent,
+        slots=field_slots,
+        seed=0,
+    )
+    report(
+        render_table(
+            ["Jx slot (s)", "goodput (pkts/slot)"],
+            rows,
+            title="Fig. 11(b) — goodput vs jammer slot duration, Tx slot 3 s "
+            "(paper: best ~421 at the matched 3 s cadence)",
+            digits=1,
+        )
+    )
+    series = dict(rows)
+    # A fast jammer (0.5 s slots) sharply degrades goodput versus the
+    # matched cadence — the paper's strongest effect.
+    assert series[0.5] < series[3.0] * 0.85
+    # Goodput at the matched cadence sits in the paper's ballpark relative
+    # band (~70 % of the no-jammer level at 3 s slots, i.e. > 280 pkts).
+    assert series[3.0] > 250.0

@@ -1,0 +1,51 @@
+"""Fig. 2(b): jamming effect of EmuBee / Wi-Fi / ZigBee signals vs distance.
+
+Paper setup: a 4-node ZigBee star network, a USRP jammer transmitting each
+signal type from 1..15 m; measured PER and throughput. Expected shape:
+PER falls (throughput rises) with distance, and the jamming-effect ranking
+is EmuBee > ZigBee > Wi-Fi, with EmuBee's edge largest beyond 10 m.
+"""
+
+from conftest import run_once
+
+from repro.analysis.figures import fig2b_jamming_effect
+from repro.analysis.tables import render_table
+
+
+def test_fig2b_jamming_effect(benchmark, report):
+    rows = run_once(benchmark, fig2b_jamming_effect)
+
+    table = render_table(
+        ["d (m)", "PER Emu %", "PER WiFi %", "PER Zig %",
+         "Tput Emu", "Tput WiFi", "Tput Zig"],
+        [
+            [
+                r.distance_m,
+                r.per["EmuBee"],
+                r.per["WiFi"],
+                r.per["ZigBee"],
+                r.throughput_kbps["EmuBee"],
+                r.throughput_kbps["WiFi"],
+                r.throughput_kbps["ZigBee"],
+            ]
+            for r in rows
+        ],
+        title="Fig. 2(b) — jamming effect vs distance "
+        "(paper: EmuBee > ZigBee > WiFi, PER decreasing with distance)",
+        digits=1,
+    )
+    report(table)
+
+    # Shape assertions from the paper.
+    for name in ("EmuBee", "WiFi", "ZigBee"):
+        pers = [r.per[name] for r in rows]
+        assert all(a >= b - 1e-6 for a, b in zip(pers, pers[1:]))
+        tputs = [r.throughput_kbps[name] for r in rows]
+        assert all(a <= b + 1e-6 for a, b in zip(tputs, tputs[1:]))
+    # Ranking holds at long range and EmuBee's superiority is significant
+    # at >= 10 m.
+    for r in rows:
+        if r.distance_m >= 8:
+            assert r.per["EmuBee"] >= r.per["ZigBee"] >= r.per["WiFi"]
+    assert rows[10].per["EmuBee"] > 50.0  # still lethal at 11 m
+    assert rows[10].per["WiFi"] < 20.0  # raw Wi-Fi long dead

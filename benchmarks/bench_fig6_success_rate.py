@@ -1,0 +1,66 @@
+"""Fig. 6: success rate of transmission S_T vs L_J / sweep cycle / L_H / L^T_p.
+
+Paper shape (both jammer modes, 20 000 slots per point):
+  (a) S_T = 0 while L_J <= 15, rises with L_J, stabilises ~78 % past 50,
+      with the random mode rising earlier than the max mode;
+  (b) S_T increases with the sweep cycle;
+  (c) S_T decreases with L_H;
+  (d) S_T grows with the power floor and saturates at 100 % once the
+      victim's ceiling clears the jammer's.
+"""
+
+from conftest import run_once
+
+from repro.analysis.figures import parameter_sweeps
+from repro.analysis.tables import render_table
+
+
+def _table(sweeps, sweep_name, mode):
+    points = sweeps[sweep_name]
+    return render_table(
+        [sweep_name, "S_T"],
+        [[p.x, p.metrics.success_rate] for p in points],
+        title=f"Fig. 6 — S_T vs {sweep_name} ({mode}-power jammer)",
+    )
+
+
+def _series(sweeps, name):
+    return {p.x: p.metrics.success_rate for p in sweeps[name]}
+
+
+def test_fig6_max_mode(benchmark, report, bench_slots):
+    sweeps = run_once(benchmark, parameter_sweeps, "max", bench_slots, 0)
+    report(
+        "\n\n".join(
+            _table(sweeps, n, "max")
+            for n in ("loss_jam", "sweep_cycle", "loss_hop", "power_floor")
+        )
+    )
+    lj = _series(sweeps, "loss_jam")
+    assert lj[10.0] < 0.01  # dead zone below L_J ~ 15
+    assert 0.60 < lj[100.0] < 0.85  # plateau near the paper's 78 %
+    cyc = [p.metrics.success_rate for p in sweeps["sweep_cycle"]]
+    assert cyc[-1] > cyc[0]  # Fig. 6(b)
+    lh = [p.metrics.success_rate for p in sweeps["loss_hop"]]
+    assert lh[0] >= lh[-1]  # Fig. 6(c)
+
+
+def test_fig6_random_mode(benchmark, report, bench_slots):
+    sweeps = run_once(benchmark, parameter_sweeps, "random", bench_slots, 0)
+    report(
+        "\n\n".join(
+            _table(sweeps, n, "random")
+            for n in ("loss_jam", "sweep_cycle", "loss_hop", "power_floor")
+        )
+    )
+    lj = _series(sweeps, "loss_jam")
+    assert lj[10.0] < 0.01
+    assert lj[100.0] > 0.6
+    # Fig. 6(a): the random mode's S_T rises earlier than the max mode's.
+    max_lj = _series(parameter_sweeps("max", bench_slots, 0), "loss_jam")
+    assert any(lj[x] > max_lj[x] + 0.1 for x in (20.0, 30.0, 40.0))
+    # Fig. 6(d): saturation at 100 % once the floor reaches the jammer's
+    # ceiling region.
+    floor = _series(sweeps, "power_floor")
+    assert floor[15.0] > 0.9
+    assert floor[15.0] >= floor[6.0]

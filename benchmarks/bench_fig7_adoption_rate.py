@@ -1,0 +1,62 @@
+"""Fig. 7: adoption rates of frequency hopping (A_H) and power control (A_P).
+
+Paper shape: A_H is 0 below the L_J inflection and grows past it; both
+adoption rates fall as the sweep cycle grows ("the larger sweep cycle, the
+less necessary to take anti-jamming actions"); A_H falls as L_H grows; and
+the PC adoption rate is usually higher in the random (hidden) mode than in
+the max mode, because PC is useless against a max-power jammer.
+"""
+
+from conftest import run_once
+
+from repro.analysis.figures import parameter_sweeps
+from repro.analysis.tables import render_table
+
+
+def _tables(sweeps, mode):
+    parts = []
+    for sweep_name in ("loss_jam", "sweep_cycle", "loss_hop", "power_floor"):
+        parts.append(
+            render_table(
+                [sweep_name, "A_H", "A_P"],
+                [
+                    [p.x, p.metrics.fh_adoption_rate, p.metrics.pc_adoption_rate]
+                    for p in sweeps[sweep_name]
+                ],
+                title=f"Fig. 7 — adoption rates vs {sweep_name} ({mode} mode)",
+            )
+        )
+    return "\n\n".join(parts)
+
+
+def test_fig7_max_mode(benchmark, report, bench_slots):
+    sweeps = run_once(benchmark, parameter_sweeps, "max", bench_slots, 0)
+    report(_tables(sweeps, "max"))
+    ah_lj = {p.x: p.metrics.fh_adoption_rate for p in sweeps["loss_jam"]}
+    assert ah_lj[10.0] < 0.01  # inactive below the inflection (Fig. 7a)
+    assert ah_lj[100.0] > 0.2
+    # Fig. 7(c)/(d): adoption falls with the sweep cycle.
+    ah_cyc = [p.metrics.fh_adoption_rate for p in sweeps["sweep_cycle"]]
+    assert ah_cyc[0] > ah_cyc[-1]
+    # Against a max-power jammer PC is pointless at the optimum: A_P ~ 0
+    # wherever FH is active (paper: "adopting PC has no effect").
+    ap_lj = {p.x: p.metrics.pc_adoption_rate for p in sweeps["loss_jam"]}
+    assert ap_lj[100.0] < 0.2
+
+
+def test_fig7_random_mode(benchmark, report, bench_slots):
+    sweeps = run_once(benchmark, parameter_sweeps, "random", bench_slots, 0)
+    report(_tables(sweeps, "random"))
+    # Fig. 7(b): in the random mode PC is adopted extensively.
+    ap_lj = {p.x: p.metrics.pc_adoption_rate for p in sweeps["loss_jam"]}
+    assert max(ap_lj.values()) > 0.5
+    # ... and usually more than in the max mode.
+    max_sweeps = parameter_sweeps("max", bench_slots, 0)
+    ap_max = {p.x: p.metrics.pc_adoption_rate for p in max_sweeps["loss_jam"]}
+    higher = sum(ap_lj[x] >= ap_max[x] for x in ap_lj)
+    assert higher >= 0.7 * len(ap_lj)
+    # Fig. 7(g)/(h): raising the power floor swaps FH out for PC.
+    ah_floor = [p.metrics.fh_adoption_rate for p in sweeps["power_floor"]]
+    ap_floor = [p.metrics.pc_adoption_rate for p in sweeps["power_floor"]]
+    assert ah_floor[-1] <= ah_floor[0] + 1e-9
+    assert ap_floor[-1] >= ap_floor[0] - 1e-9

@@ -1,0 +1,64 @@
+"""Fig. 8: success (usefulness) rates of FH (S_H) and PC (S_P).
+
+Paper shape: S_H falls as the sweep cycle grows (more hops become
+preventative and unnecessary); S_P is essentially zero against the
+max-power jammer but positive in the random (hidden) mode, where PC can
+actually defeat attacks; "in the case of limited transmission power, FH is
+more useful than PC and its success rate is significantly higher".
+"""
+
+from conftest import run_once
+
+from repro.analysis.figures import parameter_sweeps
+from repro.analysis.tables import render_table
+
+
+def _tables(sweeps, mode):
+    parts = []
+    for sweep_name in ("loss_jam", "sweep_cycle", "loss_hop", "power_floor"):
+        parts.append(
+            render_table(
+                [sweep_name, "S_H", "S_P"],
+                [
+                    [p.x, p.metrics.fh_success_rate, p.metrics.pc_success_rate]
+                    for p in sweeps[sweep_name]
+                ],
+                title=f"Fig. 8 — FH/PC usefulness vs {sweep_name} ({mode} mode)",
+            )
+        )
+    return "\n\n".join(parts)
+
+
+def test_fig8_max_mode(benchmark, report, bench_slots):
+    sweeps = run_once(benchmark, parameter_sweeps, "max", bench_slots, 0)
+    report(_tables(sweeps, "max"))
+    # S_P ~ 0: PC can never defeat the max-power jammer (its ceiling
+    # exceeds the victim's by construction).
+    for p in sweeps["loss_jam"]:
+        assert p.metrics.pc_success_rate < 0.01
+    # Fig. 8(c): S_H decreases as the sweep cycle grows.
+    sh_cyc = [p.metrics.fh_success_rate for p in sweeps["sweep_cycle"]]
+    active = [v for v in sh_cyc if v > 0]
+    assert active[0] > active[-1]
+    # FH dominates PC wherever both are defined.
+    for p in sweeps["loss_jam"]:
+        if p.metrics.fh_adoption_rate > 0:
+            assert p.metrics.fh_success_rate >= p.metrics.pc_success_rate
+
+
+def test_fig8_random_mode(benchmark, report, bench_slots):
+    sweeps = run_once(benchmark, parameter_sweeps, "random", bench_slots, 0)
+    report(_tables(sweeps, "random"))
+    # Fig. 8(b): S_P becomes meaningful in the hidden mode.
+    sp = [p.metrics.pc_success_rate for p in sweeps["loss_jam"]]
+    assert max(sp) > 0.1
+    # Fig. 8(c)/(d): both usefulness rates decline as the sweep cycle grows
+    # (a slower sweep means fewer real attacks to defeat or dodge).
+    sh_cyc = [p.metrics.fh_success_rate for p in sweeps["sweep_cycle"]]
+    sp_cyc = [p.metrics.pc_success_rate for p in sweeps["sweep_cycle"]]
+    assert sh_cyc[0] > sh_cyc[-1]
+    assert sp_cyc[0] > sp_cyc[-1]
+    # Fig. 8(g)/(h): raising the power floor makes PC the dominant tool.
+    sp_floor = [p.metrics.pc_success_rate for p in sweeps["power_floor"]]
+    sh_floor = [p.metrics.fh_success_rate for p in sweeps["power_floor"]]
+    assert sp_floor[-2] >= sh_floor[-2]

@@ -1,0 +1,66 @@
+"""Fig. 9: time consumption of the hub's functions and of FH negotiation.
+
+Paper values, measured over 100 trials each on the CC26X2R1 testbed:
+DQN inference ~9 ms, data/ACK round trip ~0.9 ms, data processing ~0.6 ms,
+per-node polling ~13.1 ms; and FH negotiation time growing with network
+size (1..10 nodes), reaching several seconds when nodes must be recovered
+through the control channel.
+"""
+
+import numpy as np
+from conftest import run_once
+
+from repro.analysis.figures import fig9a_time_consumption, fig9b_negotiation_time
+from repro.analysis.stats import summarize
+from repro.analysis.tables import render_table
+
+
+def test_fig9a_function_latencies(benchmark, report):
+    samples = run_once(benchmark, fig9a_time_consumption, trials=100, seed=0)
+
+    rows = []
+    for name, values in samples.items():
+        s = summarize(values)
+        rows.append([name, s.mean * 1e3, s.std * 1e3, s.minimum * 1e3, s.maximum * 1e3])
+    report(
+        render_table(
+            ["function", "mean (ms)", "std (ms)", "min (ms)", "max (ms)"],
+            rows,
+            title="Fig. 9(a) — time consumption of typical functions "
+            "(paper: DQN 9 ms, ACK 0.9 ms, Proc 0.6 ms, Polling 13.1 ms)",
+            digits=2,
+        )
+    )
+    means = {name: float(np.mean(v)) for name, v in samples.items()}
+    assert means["DQN"] == pytest_approx(9e-3, 0.15)
+    assert means["ACK"] == pytest_approx(0.9e-3, 0.15)
+    assert means["Proc"] == pytest_approx(0.6e-3, 0.15)
+    assert means["Polling"] == pytest_approx(13.1e-3, 0.15)
+    # Ordering as plotted: Polling > DQN > ACK > Proc.
+    assert means["Polling"] > means["DQN"] > means["ACK"] > means["Proc"]
+
+
+def test_fig9b_negotiation_vs_network_size(benchmark, report):
+    rows = run_once(
+        benchmark, fig9b_negotiation_time, max_nodes=10, trials=60, seed=0
+    )
+    report(
+        render_table(
+            ["nodes", "mean (s)", "min (s)", "max (s)"],
+            rows,
+            title="Fig. 9(b) — FH negotiation time vs network size "
+            "(paper: grows with size; several seconds in some cases)",
+        )
+    )
+    means = [r[1] for r in rows]
+    # Increasing trend.
+    assert means[-1] > means[0] * 2
+    assert np.corrcoef(np.arange(len(means)), means)[0, 1] > 0.8
+    # "In some cases, it can be several seconds".
+    assert max(r[3] for r in rows) > 2.0
+
+
+def pytest_approx(value, rel):
+    import pytest
+
+    return pytest.approx(value, rel=rel)

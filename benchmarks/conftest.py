@@ -1,0 +1,58 @@
+"""Shared fixtures for the figure-regeneration benchmarks.
+
+Each benchmark reproduces one paper figure: it computes the figure's data
+(timed once via ``benchmark.pedantic``), asserts the qualitative shape the
+paper reports, prints the table to the terminal (bypassing capture) and
+writes it to ``benchmarks/results/<test>.txt``.
+
+Budgets: the evaluation slot count defaults to the paper's 20 000 and can
+be reduced for quick runs with ``REPRO_BENCH_SLOTS=2000 pytest benchmarks/``.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+#: Paper budget: each simulated experiment runs 20 000 time slots.
+BENCH_SLOTS = int(os.environ.get("REPRO_BENCH_SLOTS", "20000"))
+
+#: Field-experiment budget (slots are 3 s each in the paper; 1000 slots
+#: would be ~50 minutes of simulated wall-clock).
+FIELD_SLOTS = int(os.environ.get("REPRO_FIELD_SLOTS", "600"))
+
+#: DQN training budget for the Fig. 11 benchmark.
+DQN_EPISODES = int(os.environ.get("REPRO_DQN_EPISODES", "100"))
+
+
+@pytest.fixture(scope="session")
+def bench_slots() -> int:
+    return BENCH_SLOTS
+
+
+@pytest.fixture(scope="session")
+def field_slots() -> int:
+    return FIELD_SLOTS
+
+
+@pytest.fixture
+def report(request, capsys):
+    """Print a result table to the terminal and persist it to disk."""
+
+    def _report(text: str) -> None:
+        RESULTS_DIR.mkdir(exist_ok=True)
+        name = request.node.name.replace("/", "_")
+        (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+        with capsys.disabled():
+            print(f"\n{text}\n")
+
+    return _report
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Time ``fn`` exactly once (figure computations are minutes-scale)."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)

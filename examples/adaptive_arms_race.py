@@ -1,0 +1,121 @@
+#!/usr/bin/env python3
+"""Arms race: smarter jammers vs smarter victims, with the energy bill.
+
+The paper's jammer sweeps channels uniformly at random. What if it
+doesn't? This example pits three sweep strategies (the paper's random
+search, a naive rotation, and a memory-guided adaptive search) against
+two victims (the unpredictable MDP optimum and a creature-of-habit victim
+that ping-pongs between favourite channels), then prices each defence in
+millijoules per successfully delivered slot — the §IV-C-2 energy view.
+
+Run:  python examples/adaptive_arms_race.py  [--slots 8000]
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro.analysis.tables import render_table
+from repro.core.envs import SweepJammingEnv
+from repro.core.mdp import AntiJammingMDP, MDPConfig
+from repro.core.metrics import SlotLog
+from repro.core.policy import ThresholdPolicy, policy_from_solution_map
+from repro.core.solver import value_iteration
+from repro.jamming.strategies import make_strategy
+from repro.net.energy import energy_of_run
+
+STRATEGIES = ("random", "sequential", "adaptive")
+
+
+def run_uniform_victim(strategy_name: str, slots: int, seed: int):
+    """The exact MDP optimum, hopping uniformly (nothing to learn from)."""
+    cfg = MDPConfig(jammer_mode="max")
+    policy = policy_from_solution_map(
+        value_iteration(AntiJammingMDP(cfg)).policy_map()
+    )
+    env = SweepJammingEnv(
+        cfg,
+        seed=seed,
+        sweep_strategy=make_strategy(strategy_name, cfg.sweep_cycle, seed=seed),
+    )
+    log = SlotLog(keep_history=True)
+    for _ in range(slots):
+        _, _, info = env.step_action(policy.action(env.state))
+        log.record(info)
+    return log
+
+
+def run_habitual_victim(strategy_name: str, slots: int, seed: int):
+    """A victim that alternates between two favourite channels when hopping."""
+    cfg = MDPConfig(jammer_mode="max")
+    policy = ThresholdPolicy(threshold=3, stay_power_index=0, hop_power_index=0)
+    env = SweepJammingEnv(
+        cfg,
+        seed=seed,
+        sweep_strategy=make_strategy(strategy_name, cfg.sweep_cycle, seed=seed),
+    )
+    log = SlotLog(keep_history=True)
+    favourites = (2, 10)
+    current = favourites[0]
+    for _ in range(slots):
+        action = policy.action(env.state)
+        if action.hop:
+            current = favourites[(favourites.index(current) + 1) % 2]
+        _, _, info = env.step_index(
+            env.channel_power_to_action(current, action.power_index)
+        )
+        log.record(info)
+    return log
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--slots", type=int, default=8000)
+    parser.add_argument("--seed", type=int, default=3)
+    args = parser.parse_args()
+
+    rows = []
+    for strategy in STRATEGIES:
+        uniform = run_uniform_victim(strategy, args.slots, args.seed)
+        habitual = run_habitual_victim(strategy, args.slots, args.seed)
+        rows.append(
+            [
+                strategy,
+                uniform.summary().success_rate,
+                habitual.summary().success_rate,
+            ]
+        )
+    print(
+        render_table(
+            ["jammer sweep", "S_T vs unpredictable victim",
+             "S_T vs habitual victim"],
+            rows,
+            title="Arms race: sweep strategy vs victim predictability",
+        )
+    )
+    print(
+        "\nThe adaptive jammer only profits from predictability — random\n"
+        "hopping (what the MDP optimum and a well-trained DQN do) is the\n"
+        "defence's real armour.\n"
+    )
+
+    # The energy ledger of the defended victim under the adaptive attacker.
+    log = run_uniform_victim("adaptive", args.slots, args.seed)
+    energy = energy_of_run(log.history)
+    summary = log.summary()
+    print(
+        render_table(
+            ["metric", "value"],
+            [
+                ["S_T under adaptive jamming", summary.success_rate],
+                ["energy per slot (mJ)", energy.mean_mj_per_slot],
+                ["energy per useful slot (mJ)", energy.mj_per_successful_slot],
+                ["coin-cell lifetime (days)", energy.lifetime_days()],
+            ],
+            title="Energy bill of the optimal defence (CR2032-class cell)",
+        )
+    )
+
+
+if __name__ == "__main__":
+    main()

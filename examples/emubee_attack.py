@@ -1,0 +1,106 @@
+#!/usr/bin/env python3
+"""The attack side: forge ZigBee waveforms with a Wi-Fi transmitter.
+
+Walks the full EmuBee pipeline of paper §II-A / Fig. 1:
+
+1. design a target ZigBee waveform (O-QPSK chips for a chosen payload);
+2. invert the Wi-Fi PHY — FFT, α-scaled 64-QAM quantization (Eqs. 1–2),
+   deinterleave, Viterbi, descramble — to recover the Wi-Fi payload whose
+   transmission emulates the design;
+3. re-run the forward Wi-Fi chain and hand the emitted waveform to a real
+   ZigBee receiver to measure how faithfully the chips survive;
+4. compare the paper's optimised quantization against naive fixed scales;
+5. show the stealthiness property: the victim radio decodes the burst,
+   burns receiver time, and never flags it as jamming.
+
+Run:  python examples/emubee_attack.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis.tables import render_table
+from repro.channel.link import JammerSignalType
+from repro.constants import ZIGBEE_PREAMBLE
+from repro.jamming.detector import stealth_assessment
+from repro.phy import zigbee
+from repro.phy.emulation import WaveformEmulator, optimize_alpha
+from repro.phy.packet import FrameListener
+
+
+def main() -> None:
+    emulator = WaveformEmulator()
+    payload = bytes.fromhex("00000000deadbeefcafe")  # preamble + garbage
+
+    # 1-3) Full pipeline with the optimised quantization.
+    designed, chips = emulator.design_from_bytes(payload)
+    optimum = emulator.emulate(designed, target_chips=chips)
+    print("EmuBee pipeline (optimised alpha)")
+    print(f"  target chips          : {chips.size}")
+    print(f"  OFDM symbols used     : {designed.size // 80}")
+    print(f"  optimal alpha (Eq. 2) : {optimum.alpha:.4f}")
+    print(f"  E(alpha*) (Eq. 1)     : {optimum.quantization_error:.2f}")
+    print(f"  chip error rate       : {optimum.chip_error_rate:.1%}")
+    print(f"  Wi-Fi payload to send : {len(optimum.payload)} bytes")
+
+    # 4) The paper's point about quantization: an arbitrary scale wastes the
+    #    64-QAM constellation and degrades the emulation.
+    rows = []
+    for scale in (0.25, 0.5, 1.0, 2.0, 4.0):
+        alpha = optimum.alpha * scale
+        res = emulator.emulate(designed, target_chips=chips, alpha=alpha)
+        rows.append(
+            [
+                f"{scale:.2f} x alpha*",
+                alpha,
+                res.quantization_error,
+                res.evm,
+                res.chip_error_rate,
+            ]
+        )
+    print()
+    print(
+        render_table(
+            ["scale", "alpha", "E(alpha)", "EVM", "chip errors"],
+            rows,
+            title="Quantization-scale ablation (Eqs. 1-2)",
+        )
+    )
+    best = min(rows, key=lambda r: r[2])
+    assert best[0] == "1.00 x alpha*", "optimised alpha must minimise E(alpha)"
+
+    # Sanity: alpha* really is the argmin over a dense grid.
+    targets = emulator.designed_points(designed).ravel()
+    grid_alpha = optimize_alpha(targets)
+    print(f"\nbracket search alpha* = {grid_alpha:.4f} (matches pipeline)")
+
+    # 5) What the victim sees: its correlator despreads the EmuBee chips
+    #    into symbols, the frame decoder chews on them and finds nothing.
+    rx_chips = zigbee.oqpsk_demodulate(optimum.emulated)
+    usable = rx_chips.size - rx_chips.size % zigbee.CHIPS_PER_SYMBOL
+    symbols, _ = zigbee.despread(rx_chips[:usable])
+    decoded = zigbee.symbols_to_bytes(symbols[: len(payload) * 2])
+    print(f"victim decodes bytes  : {decoded.hex()}")
+    agreement = np.mean(
+        np.frombuffer(decoded, np.uint8) == np.frombuffer(payload, np.uint8)
+    )
+    print(f"byte-level agreement  : {agreement:.0%}")
+
+    report = FrameListener().listen(decoded)
+    print(f"frame decoder verdict : {report.outcome.value} ({report.error})")
+    print(f"receiver time burned  : {report.busy_octets} octet-times")
+
+    stealth = stealth_assessment(JammerSignalType.EMUBEE, [decoded] * 20)
+    noise = stealth_assessment(
+        JammerSignalType.WIFI, [b"\x5a\xc3" * 16] * 20
+    )
+    print(
+        f"\nwatchdog detection rate: EmuBee {stealth.detection_rate:.0%} "
+        f"vs plain Wi-Fi noise {noise.detection_rate:.0%} "
+        "(the stealthiness argument of paper §II-B)"
+    )
+
+
+if __name__ == "__main__":
+    main()

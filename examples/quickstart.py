@@ -1,0 +1,121 @@
+#!/usr/bin/env python3
+"""Quickstart: defend a ZigBee network against a cross-technology jammer.
+
+Reproduces the paper's headline loop end to end:
+
+1. build the anti-jamming MDP with the paper's §IV-A parameters;
+2. solve it exactly (value iteration) to see the threshold structure of
+   Theorem III.4;
+3. train the DQN of §III-C against the mechanistic sweeping jammer;
+4. evaluate both, plus the Passive-FH and Random-FH baselines, over
+   20 000 time slots and print the Table-I metrics.
+
+Run:  python examples/quickstart.py  [--fast]
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro.analysis.tables import render_table
+from repro.core import (
+    AntiJammingMDP,
+    MDPConfig,
+    PassiveFHPolicy,
+    RandomFHPolicy,
+    SweepJammingEnv,
+    TrainerConfig,
+    evaluate_dqn,
+    evaluate_policy,
+    policy_from_solution_map,
+    train_dqn,
+    value_iteration,
+)
+from repro.nn.serialize import artifact_size_bytes, parameter_count
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--fast", action="store_true", help="shorter training/eval budgets"
+    )
+    parser.add_argument("--seed", type=int, default=0)
+    args = parser.parse_args()
+
+    slots = 4_000 if args.fast else 20_000
+    episodes = 40 if args.fast else 100
+
+    # 1) The competition MDP with the paper's defaults: K = 16 channels,
+    #    Wi-Fi jammer covering m = 4 at a time, L_H = 50, L_J = 100,
+    #    victim powers 6..15 vs jammer powers 11..20.
+    config = MDPConfig(jammer_mode="max")
+    mdp = AntiJammingMDP(config)
+    print(mdp.describe())
+
+    # 2) Exact solution: the optimal policy is a threshold policy in the
+    #    streak (stay while fresh, hop when the sweep closes in).
+    solution = value_iteration(mdp)
+    print("\nOptimal policy (value iteration):")
+    for state in mdp.states:
+        print(f"  state {state!s:>2}: {solution.action(state).describe(config)}")
+    print(f"  hop threshold n* = {solution.hop_threshold()}")
+
+    # 3) Train the DQN on the mechanistic sweep-jammer environment.
+    print("\nTraining the DQN (this takes a minute or two) ...")
+    result = train_dqn(
+        config,
+        trainer=TrainerConfig(episodes=episodes, steps_per_episode=400),
+        seed=args.seed,
+    )
+    net = result.agent.network()
+    print(
+        f"  {result.steps} environment steps, "
+        f"mean reward {result.reward_history[:3].mean():.1f} -> "
+        f"{result.reward_history[-3:].mean():.1f}"
+    )
+    print(
+        f"  deployable artifact: {parameter_count(net)} floats "
+        f"({artifact_size_bytes(net) / 1024:.1f} KB) — the paper ships 10 664"
+    )
+
+    # 4) Evaluate everything on identical environments.
+    rows = []
+    dqn_metrics = evaluate_dqn(result.agent, config, slots=slots, seed=args.seed + 1)
+    rows.append(["DQN (RL FH)", *_metric_row(dqn_metrics)])
+
+    optimal = policy_from_solution_map(solution.policy_map())
+    for name, policy in [
+        ("exact optimum", optimal),
+        ("Passive FH", PassiveFHPolicy(config)),
+        ("Random FH", RandomFHPolicy(config, seed=args.seed)),
+    ]:
+        env = SweepJammingEnv(config, seed=args.seed + 1)
+        rows.append([name, *_metric_row(evaluate_policy(env, policy, slots=slots))])
+
+    print()
+    print(
+        render_table(
+            ["scheme", "S_T", "A_H", "S_H", "A_P", "S_P"],
+            rows,
+            title=f"Table-I metrics over {slots} slots (max-power jammer)",
+        )
+    )
+    print(
+        "\nThe paper reports the RL scheme sustaining ~78% transmission "
+        "success against the sweeping cross-technology jammer, versus ~38%/"
+        "~54% for the passive/random baselines (Fig. 11a)."
+    )
+
+
+def _metric_row(m) -> list[float]:
+    return [
+        m.success_rate,
+        m.fh_adoption_rate,
+        m.fh_success_rate,
+        m.pc_adoption_rate,
+        m.pc_success_rate,
+    ]
+
+
+if __name__ == "__main__":
+    main()

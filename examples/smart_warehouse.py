@@ -1,0 +1,128 @@
+#!/usr/bin/env python3
+"""Smart-warehouse scenario: a dense heterogeneous deployment under attack.
+
+The paper's introduction motivates the threat with "future warehouses for
+smart manufacturing": dense ZigBee sensor networks sharing 2.4 GHz with
+Wi-Fi equipment, where a single compromised Wi-Fi device can jam four
+ZigBee channels at a time. This example builds that scene with the field
+simulator:
+
+* a ZigBee star network of inventory sensors streaming to a hub on 3 s
+  time slots, with the calibrated CC26X2-class timing model;
+* a Wi-Fi EmuBee jammer sweeping the band, in both attack modes
+  (high-performance max-power and hidden random-power);
+* three defences — Passive FH, Random FH, and the exact MDP-optimal
+  hybrid FH+PC strategy — measured by goodput and Table-I metrics;
+* a link-budget view of how far the jammer can stand and still matter.
+
+Run:  python examples/smart_warehouse.py  [--slots 400]
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro.analysis.tables import render_table
+from repro.channel.link import JammerSignalType, LinkBudget
+from repro.constants import WIFI_TX_POWER_DBM, ZIGBEE_TX_POWER_DBM
+from repro.core.mdp import MDPConfig
+from repro.sim.field import FieldConfig, FieldExperiment, StatePolicyAdapter
+from repro.sim.scenario import field_jammer_config, paper_defaults, scheme_policy
+
+
+def jammer_reach() -> None:
+    """How close must the rogue Wi-Fi forklift scanner be to matter?"""
+    budget = LinkBudget()
+    rows = []
+    for d in (2, 5, 8, 12, 20, 30):
+        per = {
+            name: budget.jamming_per(
+                link_distance_m=3.0,
+                jammer_distance_m=float(d),
+                signal_type=sig,
+                victim_tx_dbm=ZIGBEE_TX_POWER_DBM,
+                jammer_tx_dbm=tx,
+            )
+            for name, (sig, tx) in {
+                "EmuBee": (JammerSignalType.EMUBEE, WIFI_TX_POWER_DBM),
+                "plain Wi-Fi": (JammerSignalType.WIFI, WIFI_TX_POWER_DBM),
+            }.items()
+        }
+        rows.append([d, per["EmuBee"], per["plain Wi-Fi"]])
+    print(
+        render_table(
+            ["jammer distance (m)", "PER, EmuBee", "PER, plain Wi-Fi"],
+            rows,
+            title="Reach of a rogue Wi-Fi device against a 3 m sensor link",
+        )
+    )
+    print(
+        "  The emulated attack stays lethal an order of magnitude farther\n"
+        "  than raw Wi-Fi interference (paper Fig. 2(b)).\n"
+    )
+
+
+def defend(jammer_mode: str, slots: int, seed: int) -> None:
+    defaults = paper_defaults(jammer_mode=jammer_mode)
+    mdp = defaults.mdp
+    schemes = {
+        "undefended hub": None,
+        "Passive FH": scheme_policy("psv", mdp),
+        "Random FH": scheme_policy("rand", mdp, seed=seed),
+        "hybrid FH+PC (optimal)": scheme_policy("optimal", mdp),
+    }
+    rows = []
+    baseline_goodput = None
+    for name, policy in schemes.items():
+        if policy is None:
+            # Undefended: fixed channel, minimum power.
+            from repro.core.baselines import NoDefensePolicy
+
+            policy = NoDefensePolicy()
+        adapter = StatePolicyAdapter(policy, mdp, seed=seed + hash(name) % 1000)
+        cfg = FieldConfig(
+            mdp=mdp,
+            jammer=field_jammer_config(defaults),
+            num_peripherals=6,  # a denser warehouse cell
+        )
+        result = FieldExperiment(cfg, adapter, seed=seed).run_experiment(slots)
+        rows.append(
+            [
+                name,
+                result.goodput_pkts_per_slot,
+                result.metrics.success_rate,
+                result.metrics.fh_adoption_rate,
+                result.metrics.pc_adoption_rate,
+            ]
+        )
+        if baseline_goodput is None:
+            baseline_goodput = result.goodput_pkts_per_slot
+    print(
+        render_table(
+            ["defence", "goodput (pkts/slot)", "S_T", "A_H", "A_P"],
+            rows,
+            title=f"Warehouse cell vs {jammer_mode}-power EmuBee jammer "
+            f"({slots} slots, 6 sensors)",
+        )
+    )
+    print()
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--slots", type=int, default=400)
+    parser.add_argument("--seed", type=int, default=7)
+    args = parser.parse_args()
+
+    jammer_reach()
+    for mode in ("max", "random"):
+        defend(mode, args.slots, args.seed)
+    print(
+        "Against the hidden (random-power) jammer, power control starts\n"
+        "paying off — the hybrid strategy leans on PC, exactly the trade\n"
+        "the paper's Figs. 7-8 chart."
+    )
+
+
+if __name__ == "__main__":
+    main()

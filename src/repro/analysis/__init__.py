@@ -1,0 +1,17 @@
+"""Analysis utilities: statistics, table rendering, figure-data generators.
+
+:mod:`repro.analysis.figures` holds one function per data-bearing figure of
+the paper; the benchmark harness, the CLI and EXPERIMENTS.md all draw from
+these single sources of truth.
+"""
+
+from repro.analysis.stats import SeriesSummary, mean_confidence_interval, summarize
+from repro.analysis.tables import format_float, render_table
+
+__all__ = [
+    "SeriesSummary",
+    "mean_confidence_interval",
+    "summarize",
+    "format_float",
+    "render_table",
+]

@@ -1,0 +1,401 @@
+"""Figure-data generators — one entry point per data-bearing paper figure.
+
+Every generator returns plain data structures (lists of rows) so the
+benchmark harness can print them, tests can assert on their shape, and the
+CLI can dump them as tables. The heavy parameter sweeps of Figs. 6–8 share
+one cached computation.
+
+Policy choice for the sweeps: each point evaluates the *exact* value-
+iteration optimum of the configured MDP on the mechanistic sweep-jammer
+environment (see DESIGN.md, "Sweep-figure policy choice"); Fig. 11 uses the
+actually-trained DQN.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import lru_cache
+
+import numpy as np
+
+from repro.channel.link import JammerSignalType, LinkBudget
+from repro.constants import WIFI_TX_POWER_DBM, ZIGBEE_TX_POWER_DBM
+from repro.core.dqn import DQNAgent
+from repro.core.envs import SweepJammingEnv
+from repro.core.mdp import AntiJammingMDP, JammerMode, MDPConfig
+from repro.core.metrics import MetricSummary, evaluate_policy
+from repro.core.policy import policy_from_solution_map
+from repro.core.solver import value_iteration
+from repro.core.trainer import TrainerConfig, train_dqn
+from repro.errors import ConfigurationError
+from repro.net.goodput import GoodputModel
+from repro.net.network import StarNetwork
+from repro.net.timing import TimingModel
+from repro.rng import derive
+from repro.sim.field import (
+    DQNPolicyAdapter,
+    FieldConfig,
+    FieldExperiment,
+    StatePolicyAdapter,
+)
+from repro.sim.scenario import field_jammer_config, paper_defaults, scheme_policy
+
+# ---------------------------------------------------------------------------
+# Fig. 2(b): jamming effect of EmuBee / Wi-Fi / ZigBee vs distance
+# ---------------------------------------------------------------------------
+
+#: Offered application throughput of the unjammed ZigBee network, kbit/s
+#: (the Fig. 2(b) y-axis tops out near 60 kbps).
+FIG2B_OFFERED_KBPS = 60.0
+
+
+@dataclass(frozen=True)
+class JammingEffectRow:
+    """One distance point of Fig. 2(b)."""
+
+    distance_m: float
+    per: dict[str, float]  # signal name -> packet error rate (%)
+    throughput_kbps: dict[str, float]
+
+
+def fig2b_jamming_effect(
+    distances=tuple(range(1, 16)),
+    *,
+    link_distance_m: float = 3.0,
+    packet_octets: int = 60,
+) -> list[JammingEffectRow]:
+    """PER and throughput vs jamming distance for the three signals."""
+    budget = LinkBudget()
+    signals = {
+        "EmuBee": (JammerSignalType.EMUBEE, WIFI_TX_POWER_DBM),
+        "WiFi": (JammerSignalType.WIFI, WIFI_TX_POWER_DBM),
+        "ZigBee": (JammerSignalType.ZIGBEE, ZIGBEE_TX_POWER_DBM),
+    }
+    rows = []
+    for d in distances:
+        per = {}
+        tput = {}
+        for name, (sig, tx) in signals.items():
+            p = budget.jamming_per(
+                link_distance_m=link_distance_m,
+                jammer_distance_m=float(d),
+                signal_type=sig,
+                victim_tx_dbm=ZIGBEE_TX_POWER_DBM,
+                jammer_tx_dbm=tx,
+                packet_octets=packet_octets,
+            )
+            per[name] = 100.0 * p
+            tput[name] = FIG2B_OFFERED_KBPS * (1.0 - p)
+        rows.append(
+            JammingEffectRow(distance_m=float(d), per=per, throughput_kbps=tput)
+        )
+    return rows
+
+
+# ---------------------------------------------------------------------------
+# Figs. 6-8: the parameter sweeps (shared computation)
+# ---------------------------------------------------------------------------
+
+#: Default x-axes matching the paper's plots.
+LJ_VALUES = tuple(range(10, 101, 10))
+SWEEP_CYCLE_VALUES = tuple(range(3, 16))
+LH_VALUES = tuple(range(0, 101, 10))
+LP_LOWER_VALUES = tuple(range(6, 16))
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One x-axis point of a parameter sweep."""
+
+    x: float
+    metrics: MetricSummary
+
+
+def _evaluate_config(config: MDPConfig, slots: int, seed: int) -> MetricSummary:
+    solution = value_iteration(AntiJammingMDP(config))
+    policy = policy_from_solution_map(solution.policy_map())
+    env = SweepJammingEnv(config, seed=derive(seed, f"sweep-{hash(config)}"))
+    return evaluate_policy(env, policy, slots=slots)
+
+
+@lru_cache(maxsize=8)
+def parameter_sweeps(
+    jammer_mode: str,
+    slots: int = 20_000,
+    seed: int = 0,
+    lj_values: tuple = LJ_VALUES,
+    cycle_values: tuple = SWEEP_CYCLE_VALUES,
+    lh_values: tuple = LH_VALUES,
+    lp_lower_values: tuple = LP_LOWER_VALUES,
+) -> dict[str, tuple[SweepPoint, ...]]:
+    """All four parameter sweeps of Figs. 6-8 for one jammer mode.
+
+    Returns ``{"loss_jam" | "sweep_cycle" | "loss_hop" | "power_floor":
+    (SweepPoint, ...)}``. Cached: Figs. 6, 7 and 8 read different metric
+    fields off the same evaluations.
+    """
+    if jammer_mode not in JammerMode.ALL:
+        raise ConfigurationError(f"unknown jammer mode {jammer_mode!r}")
+    out: dict[str, tuple[SweepPoint, ...]] = {}
+    out["loss_jam"] = tuple(
+        SweepPoint(
+            float(lj),
+            _evaluate_config(
+                MDPConfig(loss_jam=float(lj), jammer_mode=jammer_mode), slots, seed
+            ),
+        )
+        for lj in lj_values
+    )
+    out["sweep_cycle"] = tuple(
+        SweepPoint(
+            float(c),
+            _evaluate_config(
+                MDPConfig(jammer_mode=jammer_mode, sweep_cycle_override=int(c)),
+                slots,
+                seed,
+            ),
+        )
+        for c in cycle_values
+    )
+    out["loss_hop"] = tuple(
+        SweepPoint(
+            float(lh),
+            _evaluate_config(
+                MDPConfig(loss_hop=float(lh), jammer_mode=jammer_mode), slots, seed
+            ),
+        )
+        for lh in lh_values
+    )
+    out["power_floor"] = tuple(
+        SweepPoint(
+            float(lb),
+            _evaluate_config(
+                MDPConfig(
+                    tx_power_levels=tuple(range(int(lb), int(lb) + 10)),
+                    jammer_mode=jammer_mode,
+                ),
+                slots,
+                seed,
+            ),
+        )
+        for lb in lp_lower_values
+    )
+    return out
+
+
+def _select(sweeps, metric: str):
+    return {
+        name: [(p.x, getattr(p.metrics, metric)) for p in points]
+        for name, points in sweeps.items()
+    }
+
+
+def fig6_success_rate(jammer_mode: str, *, slots: int = 20_000, seed: int = 0):
+    """S_T vs L_J / sweep cycle / L_H / power floor (Fig. 6(a)-(d))."""
+    return _select(parameter_sweeps(jammer_mode, slots, seed), "success_rate")
+
+
+def fig7_adoption_rates(jammer_mode: str, *, slots: int = 20_000, seed: int = 0):
+    """A_H and A_P for the four sweeps (Fig. 7(a)-(h))."""
+    sweeps = parameter_sweeps(jammer_mode, slots, seed)
+    return {
+        "A_H": _select(sweeps, "fh_adoption_rate"),
+        "A_P": _select(sweeps, "pc_adoption_rate"),
+    }
+
+
+def fig8_action_success_rates(jammer_mode: str, *, slots: int = 20_000, seed: int = 0):
+    """S_H and S_P for the four sweeps (Fig. 8(a)-(h))."""
+    sweeps = parameter_sweeps(jammer_mode, slots, seed)
+    return {
+        "S_H": _select(sweeps, "fh_success_rate"),
+        "S_P": _select(sweeps, "pc_success_rate"),
+    }
+
+
+# ---------------------------------------------------------------------------
+# Fig. 9: time consumption
+# ---------------------------------------------------------------------------
+
+
+def fig9a_time_consumption(*, trials: int = 100, seed: int = 0) -> dict[str, np.ndarray]:
+    """Latency samples (seconds) of the four hub functions, 100 trials each."""
+    timing = TimingModel()
+    rng = derive(seed, "fig9a")
+    return {
+        "DQN": timing.dqn_inference(rng, size=trials),
+        "ACK": timing.round_trip(rng, size=trials),
+        "Proc": timing.processing(rng, size=trials),
+        "Polling": timing.polling(rng, size=trials),
+    }
+
+
+def fig9b_negotiation_time(
+    *, max_nodes: int = 10, trials: int = 60, seed: int = 0
+) -> list[tuple[int, float, float, float]]:
+    """(nodes, mean, min, max) FH negotiation time vs network size."""
+    rows = []
+    for n in range(1, max_nodes + 1):
+        samples = []
+        for t in range(trials):
+            net = StarNetwork(n, seed=derive(seed, f"fig9b-{n}-{t}"))
+            samples.append(net.negotiate(channel=0, power_index=0).duration_s)
+        arr = np.array(samples)
+        rows.append((n, float(arr.mean()), float(arr.min()), float(arr.max())))
+    return rows
+
+
+# ---------------------------------------------------------------------------
+# Fig. 10: goodput & utilisation vs Tx slot duration (no jammer)
+# ---------------------------------------------------------------------------
+
+
+def fig10_goodput_vs_duration(
+    durations=(1.0, 2.0, 3.0, 4.0, 5.0), *, slots: int = 40, seed: int = 0
+) -> list[tuple[float, float, float, float]]:
+    """(duration, goodput pkts/slot, utilisation, effective Tx time)."""
+    model = GoodputModel()
+    rows = []
+    for d in durations:
+        goodput, utilization = model.average_goodput(
+            float(d), slots=slots, rng=derive(seed, f"fig10-{d}")
+        )
+        rows.append((float(d), goodput, utilization, utilization * float(d)))
+    return rows
+
+
+# ---------------------------------------------------------------------------
+# Fig. 11: scheme comparison and jammer-cadence sensitivity
+# ---------------------------------------------------------------------------
+
+
+def train_fig11_agent(
+    *, episodes: int = 100, steps_per_episode: int = 400, seed: int = 0
+) -> DQNAgent:
+    """Train the RL FH agent with the paper's field parameters."""
+    defaults = paper_defaults()
+    result = train_dqn(
+        defaults.mdp,
+        trainer=TrainerConfig(episodes=episodes, steps_per_episode=steps_per_episode),
+        seed=seed,
+    )
+    return result.agent
+
+
+def fig11a_scheme_comparison(
+    *,
+    agent: DQNAgent | None = None,
+    slots: int = 500,
+    seed: int = 0,
+) -> dict[str, dict[str, float]]:
+    """Goodput of PSV FH / Rand FH / RL FH / no-jammer (Fig. 11(a)).
+
+    When ``agent`` is None the RL scheme falls back to the exact MDP
+    optimum (labelled ``RL FH (optimal)``); pass a trained agent to measure
+    the deployed DQN.
+    """
+    defaults = paper_defaults()
+    results: dict[str, dict[str, float]] = {}
+
+    def run(name, adapter, jammer_cfg):
+        cfg = FieldConfig(mdp=defaults.mdp, jammer=jammer_cfg)
+        exp = FieldExperiment(cfg, adapter, seed=derive(seed, f"fig11a-{name}"))
+        res = exp.run_experiment(slots)
+        results[name] = {
+            "goodput": res.goodput_pkts_per_slot,
+            "success_rate": res.metrics.success_rate,
+            "utilization": res.utilization,
+        }
+
+    jammer_cfg = field_jammer_config(defaults)
+    for name in ("psv", "rand"):
+        policy = scheme_policy(name, defaults.mdp, seed=derive(seed, f"pol-{name}"))
+        run(
+            {"psv": "PSV FH", "rand": "Rand FH"}[name],
+            StatePolicyAdapter(policy, defaults.mdp, seed=derive(seed, f"ad-{name}")),
+            jammer_cfg,
+        )
+    if agent is not None:
+        run(
+            "RL FH",
+            DQNPolicyAdapter(agent, defaults.mdp, seed=derive(seed, "ad-rl")),
+            jammer_cfg,
+        )
+    else:
+        policy = scheme_policy("optimal", defaults.mdp)
+        run(
+            "RL FH (optimal)",
+            StatePolicyAdapter(policy, defaults.mdp, seed=derive(seed, "ad-opt")),
+            jammer_cfg,
+        )
+    policy = scheme_policy("optimal", defaults.mdp)
+    run(
+        "w/o Jx",
+        StatePolicyAdapter(policy, defaults.mdp, seed=derive(seed, "ad-nojx")),
+        None,
+    )
+    return results
+
+
+#: Hop set used in the Fig. 11(b) study: embedded FH cycles a small channel
+#: list, so a slowly-camping jammer's stale channel keeps being revisited.
+FIG11B_HOP_SET = (1, 5, 9, 13)
+
+
+def fig11b_jammer_timeslot(
+    durations=(0.5, 1.0, 1.5, 2.0, 2.5, 3.0, 3.5, 4.0, 4.5, 5.0),
+    *,
+    agent: DQNAgent | None = None,
+    slots: int = 400,
+    seed: int = 0,
+) -> list[tuple[float, float]]:
+    """(jammer slot duration, goodput) with the Tx slot fixed at 3 s.
+
+    The victim hops within :data:`FIG11B_HOP_SET`; a faster jammer detects
+    and jams quicker, a slower one camps on stale hop-set channels the
+    victim keeps returning to — both degrade goodput relative to the
+    matched-cadence point (paper §IV-D-4).
+    """
+    defaults = paper_defaults()
+    rows = []
+    for d in durations:
+        jammer_cfg = field_jammer_config(defaults, slot_duration_s=float(d))
+        cfg = FieldConfig(mdp=defaults.mdp, jammer=jammer_cfg)
+        if agent is not None:
+            adapter = DQNPolicyAdapter(
+                agent, defaults.mdp, seed=derive(seed, f"ad11b-{d}")
+            )
+        else:
+            policy = scheme_policy("optimal", defaults.mdp)
+            adapter = StatePolicyAdapter(
+                policy,
+                defaults.mdp,
+                hop_channels=FIG11B_HOP_SET,
+                seed=derive(seed, f"ad11b-{d}"),
+            )
+        exp = FieldExperiment(cfg, adapter, seed=derive(seed, f"fig11b-{d}"))
+        res = exp.run_experiment(slots)
+        rows.append((float(d), res.goodput_pkts_per_slot))
+    return rows
+
+
+__all__ = [
+    "FIG2B_OFFERED_KBPS",
+    "JammingEffectRow",
+    "fig2b_jamming_effect",
+    "LJ_VALUES",
+    "SWEEP_CYCLE_VALUES",
+    "LH_VALUES",
+    "LP_LOWER_VALUES",
+    "SweepPoint",
+    "parameter_sweeps",
+    "fig6_success_rate",
+    "fig7_adoption_rates",
+    "fig8_action_success_rates",
+    "fig9a_time_consumption",
+    "fig9b_negotiation_time",
+    "fig10_goodput_vs_duration",
+    "train_fig11_agent",
+    "fig11a_scheme_comparison",
+    "fig11b_jammer_timeslot",
+]

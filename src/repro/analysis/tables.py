@@ -1,0 +1,54 @@
+"""ASCII table rendering shared by benchmarks, CLI and examples."""
+
+from __future__ import annotations
+
+from typing import Any, Sequence
+
+from repro.errors import SimulationError
+
+
+def format_float(value: Any, digits: int = 3) -> str:
+    """Render numbers compactly; pass strings through."""
+    if isinstance(value, bool):
+        return str(value)
+    if isinstance(value, int):
+        return str(value)
+    if isinstance(value, float):
+        if value != value:  # NaN
+            return "nan"
+        return f"{value:.{digits}f}"
+    return str(value)
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[Any]],
+    *,
+    title: str | None = None,
+    digits: int = 3,
+) -> str:
+    """Render a fixed-width ASCII table."""
+    if not headers:
+        raise SimulationError("a table needs headers")
+    str_rows = [[format_float(cell, digits) for cell in row] for row in rows]
+    for row in str_rows:
+        if len(row) != len(headers):
+            raise SimulationError(
+                f"row of width {len(row)} does not match {len(headers)} headers"
+            )
+    widths = [
+        max(len(h), *(len(r[i]) for r in str_rows)) if str_rows else len(h)
+        for i, h in enumerate(headers)
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    header_line = " | ".join(h.ljust(w) for h, w in zip(headers, widths))
+    lines.append(header_line)
+    lines.append("-+-".join("-" * w for w in widths))
+    for row in str_rows:
+        lines.append(" | ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+__all__ = ["format_float", "render_table"]

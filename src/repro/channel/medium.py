@@ -1,0 +1,151 @@
+"""Shared-medium arbitration for the slot-level network simulator.
+
+Tracks where every radio sits, computes pairwise received powers through
+the propagation model, and answers the two questions the MAC layer asks:
+
+* *is the channel busy?* (for Listen-Before-Talk), and
+* *does this frame survive?* (via the link-budget PER model, sampling one
+  Bernoulli per frame).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.channel.link import Interferer, JammerSignalType, LinkBudget
+from repro.channel.propagation import LogDistancePathLoss, distance
+from repro.channel.spectrum import zigbee_channel_frequency_mhz
+from repro.errors import ChannelError
+from repro.rng import SeedLike, make_rng
+
+
+@dataclass(frozen=True)
+class Placement:
+    """A radio's identity and planar position."""
+
+    node_id: str
+    x: float
+    y: float
+
+    @property
+    def position(self) -> tuple[float, float]:
+        return (self.x, self.y)
+
+
+@dataclass(frozen=True)
+class ActiveTransmission:
+    """A transmission on the air during the current resolution window."""
+
+    node_id: str
+    zigbee_channel: int
+    tx_power_dbm: float
+    signal_type: JammerSignalType = JammerSignalType.ZIGBEE
+
+
+class Medium:
+    """The shared 2.4 GHz medium connecting all placed radios."""
+
+    def __init__(
+        self,
+        propagation: LogDistancePathLoss | None = None,
+        link_budget: LinkBudget | None = None,
+        *,
+        busy_threshold_dbm: float = -85.0,
+        seed: SeedLike = None,
+    ) -> None:
+        self.propagation = propagation or LogDistancePathLoss()
+        self.link_budget = link_budget or LinkBudget(propagation=self.propagation)
+        self.busy_threshold_dbm = busy_threshold_dbm
+        self._rng = make_rng(seed)
+        self._placements: dict[str, Placement] = {}
+
+    # -- geometry -------------------------------------------------------------
+
+    def place(self, node_id: str, x: float, y: float) -> Placement:
+        """Add or move a radio."""
+        p = Placement(node_id, float(x), float(y))
+        self._placements[node_id] = p
+        return p
+
+    def placement(self, node_id: str) -> Placement:
+        try:
+            return self._placements[node_id]
+        except KeyError:
+            raise ChannelError(f"unknown node {node_id!r}") from None
+
+    def distance_between(self, a: str, b: str) -> float:
+        return distance(self.placement(a).position, self.placement(b).position)
+
+    def rx_power_dbm(self, tx: str, rx: str, tx_power_dbm: float) -> float:
+        """Received power at ``rx`` of a transmission from ``tx``.
+
+        When the propagation model carries shadowing, each call samples a
+        fresh shadowing realisation from the medium's seeded stream.
+        """
+        if tx == rx:
+            raise ChannelError("a radio cannot receive its own transmission")
+        d = self.distance_between(tx, rx)
+        return self.propagation.received_power_dbm(
+            tx_power_dbm, max(d, 1e-3), self._rng
+        )
+
+    # -- MAC-facing queries -----------------------------------------------------
+
+    def _interferers_at(
+        self,
+        rx: str,
+        zigbee_channel: int,
+        others: list[ActiveTransmission],
+        exclude: set[str],
+    ) -> list[Interferer]:
+        out = []
+        f_victim = zigbee_channel_frequency_mhz(zigbee_channel)
+        for t in others:
+            if t.node_id in exclude or t.node_id == rx:
+                continue
+            power = self.rx_power_dbm(t.node_id, rx, t.tx_power_dbm)
+            offset = zigbee_channel_frequency_mhz(t.zigbee_channel) - f_victim
+            out.append(
+                Interferer(
+                    power_dbm=power,
+                    signal_type=t.signal_type,
+                    center_offset_mhz=offset,
+                )
+            )
+        return out
+
+    def channel_busy(
+        self,
+        listener: str,
+        zigbee_channel: int,
+        active: list[ActiveTransmission],
+    ) -> bool:
+        """CCA: does ``listener`` sense energy above threshold on the channel?"""
+        for itf in self._interferers_at(listener, zigbee_channel, active, set()):
+            eff = itf.power_dbm
+            # Energy detection sees total in-band power, correlated or not.
+            if abs(itf.center_offset_mhz) < 11.0 and eff >= self.busy_threshold_dbm:
+                return True
+        return False
+
+    def frame_outcome(
+        self,
+        tx: str,
+        rx: str,
+        *,
+        zigbee_channel: int,
+        tx_power_dbm: float,
+        packet_octets: int,
+        active: list[ActiveTransmission] | None = None,
+    ) -> tuple[bool, float]:
+        """Sample whether a frame survives; returns ``(delivered, per)``."""
+        signal = self.rx_power_dbm(tx, rx, tx_power_dbm)
+        interferers = self._interferers_at(
+            rx, zigbee_channel, active or [], exclude={tx}
+        )
+        per = self.link_budget.packet_error_rate(signal, packet_octets, interferers)
+        delivered = bool(self._rng.random() >= per)
+        return delivered, per
+
+
+__all__ = ["Placement", "ActiveTransmission", "Medium"]

@@ -1,0 +1,282 @@
+"""Command-line interface: ``repro <command>`` (or ``python -m repro``).
+
+Commands
+--------
+``solve``    Solve the anti-jamming MDP exactly and print the policy.
+``train``    Train the DQN, report metrics, optionally save the artifact.
+``figure``   Regenerate one of the paper's figures as an ASCII table.
+``emulate``  Run the EmuBee emulation pipeline on a hex payload.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.analysis import figures as figures_mod
+from repro.analysis.stats import summarize
+from repro.analysis.tables import render_table
+from repro.core.mdp import AntiJammingMDP, JammerMode, MDPConfig
+from repro.core.solver import value_iteration
+from repro.core.trainer import TrainerConfig, evaluate_dqn, train_dqn
+from repro.errors import ReproError
+from repro.nn.serialize import artifact_size_bytes, parameter_count, save_parameters
+from repro.phy.emulation import WaveformEmulator
+
+
+def _mdp_config(args: argparse.Namespace) -> MDPConfig:
+    return MDPConfig(
+        loss_jam=args.loss_jam,
+        loss_hop=args.loss_hop,
+        jammer_mode=args.jammer_mode,
+    )
+
+
+def _add_mdp_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--loss-jam", type=float, default=100.0, help="L_J")
+    parser.add_argument("--loss-hop", type=float, default=50.0, help="L_H")
+    parser.add_argument(
+        "--jammer-mode",
+        choices=JammerMode.ALL,
+        default=JammerMode.MAX,
+        help="max (high-performance) or random (hidden) jammer",
+    )
+
+
+def cmd_solve(args: argparse.Namespace) -> int:
+    mdp = AntiJammingMDP(_mdp_config(args))
+    solution = value_iteration(mdp)
+    rows = []
+    for state in mdp.states:
+        action = solution.action(state)
+        rows.append(
+            [
+                str(state),
+                f"{solution.value(state):.2f}",
+                action.describe(mdp.config),
+            ]
+        )
+    print(mdp.describe())
+    print(render_table(["state", "V*(x)", "optimal action"], rows))
+    print(f"hop threshold n* = {solution.hop_threshold()}")
+    return 0
+
+
+def cmd_train(args: argparse.Namespace) -> int:
+    config = _mdp_config(args)
+    print(f"training DQN against the {config.jammer_mode}-power jammer ...")
+    result = train_dqn(
+        config,
+        trainer=TrainerConfig(
+            episodes=args.episodes, steps_per_episode=args.steps
+        ),
+        seed=args.seed,
+    )
+    net = result.agent.network()
+    print(
+        f"trained {result.steps} steps over {result.episodes} episodes; "
+        f"artifact: {parameter_count(net)} floats, "
+        f"{artifact_size_bytes(net) / 1024:.1f} KB"
+    )
+    metrics = evaluate_dqn(result.agent, config, slots=args.eval_slots, seed=args.seed)
+    print(
+        render_table(
+            ["S_T", "A_H", "S_H", "A_P", "S_P"],
+            [
+                [
+                    metrics.success_rate,
+                    metrics.fh_adoption_rate,
+                    metrics.fh_success_rate,
+                    metrics.pc_adoption_rate,
+                    metrics.pc_success_rate,
+                ]
+            ],
+            title=f"greedy evaluation over {metrics.slots} slots",
+        )
+    )
+    if args.save:
+        save_parameters(net, args.save)
+        print(f"saved parameter artifact to {args.save}")
+    return 0
+
+
+def cmd_figure(args: argparse.Namespace) -> int:
+    name = args.name
+    if name == "2b":
+        rows = figures_mod.fig2b_jamming_effect()
+        table = [
+            [r.distance_m]
+            + [r.per[s] for s in ("EmuBee", "WiFi", "ZigBee")]
+            + [r.throughput_kbps[s] for s in ("EmuBee", "WiFi", "ZigBee")]
+            for r in rows
+        ]
+        print(
+            render_table(
+                [
+                    "d (m)",
+                    "PER EmuBee %",
+                    "PER WiFi %",
+                    "PER ZigBee %",
+                    "Tput Emu",
+                    "Tput WiFi",
+                    "Tput Zig",
+                ],
+                table,
+                title="Fig. 2(b): jamming effect vs distance",
+                digits=1,
+            )
+        )
+    elif name in ("6", "7", "8"):
+        for mode in JammerMode.ALL:
+            sweeps = figures_mod.parameter_sweeps(mode, args.slots, args.seed)
+            for sweep_name, points in sweeps.items():
+                rows = [
+                    [
+                        p.x,
+                        p.metrics.success_rate,
+                        p.metrics.fh_adoption_rate,
+                        p.metrics.fh_success_rate,
+                        p.metrics.pc_adoption_rate,
+                        p.metrics.pc_success_rate,
+                    ]
+                    for p in points
+                ]
+                print(
+                    render_table(
+                        [sweep_name, "S_T", "A_H", "S_H", "A_P", "S_P"],
+                        rows,
+                        title=f"Figs. 6-8 sweep: {sweep_name} ({mode} mode)",
+                    )
+                )
+                print()
+    elif name == "9a":
+        samples = figures_mod.fig9a_time_consumption(seed=args.seed)
+        rows = [
+            [k, s.mean * 1e3, s.std * 1e3, s.minimum * 1e3, s.maximum * 1e3]
+            for k, s in ((k, summarize(v)) for k, v in samples.items())
+        ]
+        print(
+            render_table(
+                ["function", "mean (ms)", "std", "min", "max"],
+                rows,
+                title="Fig. 9(a): time consumption (100 trials)",
+            )
+        )
+    elif name == "9b":
+        rows = figures_mod.fig9b_negotiation_time(seed=args.seed)
+        print(
+            render_table(
+                ["nodes", "mean (s)", "min (s)", "max (s)"],
+                rows,
+                title="Fig. 9(b): FH negotiation time vs network size",
+            )
+        )
+    elif name == "10":
+        rows = figures_mod.fig10_goodput_vs_duration(seed=args.seed)
+        print(
+            render_table(
+                ["slot (s)", "goodput (pkts/slot)", "utilization", "eff. Tx (s)"],
+                rows,
+                title="Fig. 10: goodput & utilisation vs Tx slot duration",
+            )
+        )
+    elif name == "11a":
+        agent = None
+        if args.train_rl:
+            print("training the RL FH agent (this takes a minute) ...")
+            agent = figures_mod.train_fig11_agent(seed=args.seed)
+        results = figures_mod.fig11a_scheme_comparison(
+            agent=agent, slots=args.slots, seed=args.seed
+        )
+        rows = [
+            [name_, vals["goodput"], vals["success_rate"], vals["utilization"]]
+            for name_, vals in results.items()
+        ]
+        print(
+            render_table(
+                ["scheme", "goodput (pkts/slot)", "S_T", "utilization"],
+                rows,
+                title="Fig. 11(a): anti-jamming scheme comparison",
+            )
+        )
+    elif name == "11b":
+        rows = figures_mod.fig11b_jammer_timeslot(slots=args.slots, seed=args.seed)
+        print(
+            render_table(
+                ["Jx slot (s)", "goodput (pkts/slot)"],
+                rows,
+                title="Fig. 11(b): goodput vs jammer slot duration (Tx slot 3 s)",
+            )
+        )
+    else:
+        raise ReproError(f"unknown figure {name!r}")
+    return 0
+
+
+def cmd_emulate(args: argparse.Namespace) -> int:
+    payload = bytes.fromhex(args.hex)
+    emulator = WaveformEmulator()
+    result = emulator.emulate_bytes(payload)
+    print(f"designed ZigBee payload : {payload.hex()}")
+    print(f"optimal alpha           : {result.alpha:.4f}")
+    print(f"quantization error E(a*): {result.quantization_error:.4f}")
+    print(f"waveform EVM            : {result.evm:.3f}")
+    print(f"chip error rate         : {result.chip_error_rate:.1%}")
+    print(f"Wi-Fi payload bytes     : {len(result.payload)}")
+    print(f"emitted samples         : {result.emulated.size} @ 20 Msps")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduction of the ICDCS 2022 cross-technology "
+        "anti-jamming paper.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("solve", help="solve the MDP exactly")
+    _add_mdp_args(p)
+    p.set_defaults(func=cmd_solve)
+
+    p = sub.add_parser("train", help="train and evaluate the DQN")
+    _add_mdp_args(p)
+    p.add_argument("--episodes", type=int, default=100)
+    p.add_argument("--steps", type=int, default=400)
+    p.add_argument("--eval-slots", type=int, default=20_000)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--save", help="path for the .npz parameter artifact")
+    p.set_defaults(func=cmd_train)
+
+    p = sub.add_parser("figure", help="regenerate a paper figure")
+    p.add_argument(
+        "name",
+        choices=["2b", "6", "7", "8", "9a", "9b", "10", "11a", "11b"],
+    )
+    p.add_argument("--slots", type=int, default=5000)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument(
+        "--train-rl",
+        action="store_true",
+        help="train a DQN for fig 11a instead of using the exact optimum",
+    )
+    p.set_defaults(func=cmd_figure)
+
+    p = sub.add_parser("emulate", help="run the EmuBee pipeline on hex bytes")
+    p.add_argument("hex", help="ZigBee payload as hex, e.g. deadbeef")
+    p.set_defaults(func=cmd_emulate)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

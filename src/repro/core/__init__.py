@@ -1,0 +1,87 @@
+"""The paper's primary contribution: the hybrid FH + PC anti-jamming scheme.
+
+* :mod:`repro.core.mdp` — the competition MDP (states, actions, rewards,
+  transition kernel, Eqs. 3–14).
+* :mod:`repro.core.solver` — exact solvers and the structural results of
+  §III-B (monotone Q profiles, threshold policies).
+* :mod:`repro.core.envs` — analytic and mechanistic slotted environments.
+* :mod:`repro.core.dqn` / :mod:`repro.core.trainer` — the DQN of §III-C and
+  its training loop.
+* :mod:`repro.core.baselines` — Passive FH and Random FH (Fig. 11(a)).
+* :mod:`repro.core.metrics` — the Table-I metrics.
+"""
+
+from repro.core.baselines import (
+    MaxPowerPolicy,
+    NoDefensePolicy,
+    PassiveFHPolicy,
+    RandomFHPolicy,
+)
+from repro.core.dqn import DQNAgent, DQNConfig, EpsilonSchedule, GreedyDQNPolicy
+from repro.core.envs import AnalyticJammingEnv, StepInfo, SweepJammingEnv
+from repro.core.mdp import TJ, J, Action, AntiJammingMDP, JammerMode, MDPConfig
+from repro.core.metrics import MetricSummary, SlotLog, evaluate_policy
+from repro.core.qlearning import QLearningConfig, TabularQLearning
+from repro.core.policy import (
+    Policy,
+    RandomPolicy,
+    TabularPolicy,
+    ThresholdPolicy,
+    extract_threshold,
+    policy_from_solution_map,
+)
+from repro.core.replay import Batch, ReplayBuffer
+from repro.core.solver import (
+    Solution,
+    bellman_residual,
+    hop_q_profile,
+    is_threshold_policy,
+    policy_iteration,
+    stay_q_profile,
+    value_iteration,
+)
+from repro.core.trainer import TrainerConfig, TrainingResult, evaluate_dqn, train_dqn
+
+__all__ = [
+    "MaxPowerPolicy",
+    "NoDefensePolicy",
+    "PassiveFHPolicy",
+    "RandomFHPolicy",
+    "DQNAgent",
+    "DQNConfig",
+    "EpsilonSchedule",
+    "GreedyDQNPolicy",
+    "AnalyticJammingEnv",
+    "StepInfo",
+    "SweepJammingEnv",
+    "TJ",
+    "J",
+    "Action",
+    "AntiJammingMDP",
+    "JammerMode",
+    "MDPConfig",
+    "MetricSummary",
+    "SlotLog",
+    "evaluate_policy",
+    "Policy",
+    "RandomPolicy",
+    "TabularPolicy",
+    "ThresholdPolicy",
+    "extract_threshold",
+    "policy_from_solution_map",
+    "QLearningConfig",
+    "TabularQLearning",
+    "Batch",
+    "ReplayBuffer",
+    "Solution",
+    "bellman_residual",
+    "hop_q_profile",
+    "is_threshold_policy",
+    "policy_iteration",
+    "stay_q_profile",
+    "value_iteration",
+    "TrainerConfig",
+    "TrainingResult",
+    "evaluate_dqn",
+    "train_dqn",
+]

@@ -1,0 +1,321 @@
+"""Slotted anti-jamming environments.
+
+Two implementations of the victim/jammer competition:
+
+* :class:`AnalyticJammingEnv` samples next states *exactly* from the MDP
+  kernel of Eqs. (6)–(14). It is the ground truth for the parameter-sweep
+  figures (Figs. 6–8), because the paper's own simulations are built on the
+  same kernel.
+* :class:`SweepJammingEnv` simulates the mechanics the kernel abstracts: a
+  jammer sweeping m-channel blocks without replacement, camping on the
+  victim once found, losing a slot when the victim escapes. A property test
+  verifies its empirical transition frequencies approach the analytic
+  kernel. Its observation is the 3·I history vector the paper's DQN
+  consumes (state/channel/power of the previous I slots, §III-C).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.constants import DEFAULT_HISTORY_LENGTH
+from repro.core.mdp import TJ, J, Action, AntiJammingMDP, JammerMode, MDPConfig, State
+from repro.errors import ConfigurationError, SimulationError
+from repro.rng import SeedLike, make_rng
+
+
+@dataclass(frozen=True)
+class StepInfo:
+    """Everything the metrics harness needs to know about one slot."""
+
+    state: State  # MDP-style label of the landing state
+    success: bool  # the slot's transmission got through
+    hopped: bool
+    power_index: int
+    power_raised: bool  # transmitted above the minimum level (PC engaged)
+    jam_attempted: bool  # the jammer attacked the victim's channel
+    jam_defeated: bool  # attacked, but the victim's power level won
+    avoided_jam: bool  # hopped, succeeded, and the old channel was attacked
+    reward: float
+    channel: int | None = None  # mechanistic env only
+
+
+class AnalyticJammingEnv:
+    """Samples the competition directly from the paper's transition kernel."""
+
+    def __init__(self, mdp: AntiJammingMDP | MDPConfig | None = None, *, seed: SeedLike = None) -> None:
+        if isinstance(mdp, MDPConfig):
+            mdp = AntiJammingMDP(mdp)
+        self.mdp = mdp or AntiJammingMDP()
+        self._rng = make_rng(seed)
+        self.state: State = 1
+
+    def reset(self, *, seed: SeedLike = None) -> State:
+        if seed is not None:
+            self._rng = make_rng(seed)
+        self.state = 1
+        return self.state
+
+    def step(self, action: Action) -> tuple[State, float, StepInfo]:
+        """Advance one slot; returns (next_state, reward, info)."""
+        mdp = self.mdp
+        dist = mdp.transitions(self.state, action)
+        states = list(dist)
+        probs = np.array([dist[x] for x in states])
+        next_state = states[int(self._rng.choice(len(states), p=probs))]
+        reward = mdp.reward(self.state, action, next_state)
+
+        jam_attempted = next_state in (TJ, J)
+        avoided = False
+        if action.hop and next_state not in (TJ, J):
+            # Coupled counterfactual: would staying have been attacked?
+            if self.state in (TJ, J):
+                avoided = True  # the camping jammer kept attacking that channel
+            else:
+                s = mdp.config.sweep_cycle
+                n = int(self.state)
+                avoided = bool(self._rng.random() < 1.0 / (s - n))
+        info = StepInfo(
+            state=next_state,
+            success=next_state != J,
+            hopped=action.hop,
+            power_index=action.power_index,
+            power_raised=action.power_index > 0,
+            jam_attempted=jam_attempted,
+            jam_defeated=next_state == TJ,
+            avoided_jam=avoided,
+            reward=reward,
+        )
+        self.state = next_state
+        return next_state, reward, info
+
+
+class _SweepingJammer:
+    """The mechanistic cross-technology jammer (paper §II-C).
+
+    Sweeps blocks of ``jam_width`` consecutive channels, one block per slot,
+    without replacement; camps on the victim's block once found; spends one
+    slot re-acquiring when the victim escapes.
+    """
+
+    def __init__(
+        self,
+        config: MDPConfig,
+        rng: np.random.Generator,
+        strategy=None,
+    ) -> None:
+        from repro.jamming.strategies import RandomSweep
+
+        self.config = config
+        self._rng = rng
+        s = config.sweep_cycle
+        # Block partition by index; with an overridden sweep cycle we just
+        # split the channel space into that many (near-)equal blocks.
+        bounds = np.linspace(0, config.num_channels, s + 1).astype(int)
+        self.blocks: list[tuple[int, ...]] = [
+            tuple(range(bounds[i], bounds[i + 1])) for i in range(s)
+        ]
+        if any(len(b) == 0 for b in self.blocks):
+            raise ConfigurationError(
+                f"cannot split {config.num_channels} channels into "
+                f"{s} non-empty sweep blocks"
+            )
+        self.strategy = strategy or RandomSweep(len(self.blocks), seed=rng)
+        if self.strategy.num_blocks != len(self.blocks):
+            raise ConfigurationError(
+                f"strategy expects {self.strategy.num_blocks} blocks; "
+                f"geometry has {len(self.blocks)}"
+            )
+        self.reset()
+
+    def reset(self) -> None:
+        self.strategy.reset()
+        self._camping: int | None = None
+
+    def _power(self) -> float:
+        levels = self.config.jammer_power_levels
+        if self.config.jammer_mode == JammerMode.MAX:
+            return levels[-1]
+        return levels[int(self._rng.integers(len(levels)))]
+
+    def observe_and_attack(self, victim_channel: int) -> tuple[bool, float, tuple[int, ...]]:
+        """Advance the jammer one slot.
+
+        Returns ``(attacked, jam_power, attacked_channels)`` where
+        ``attacked`` says whether the victim's channel was inside the
+        attacked block this slot (an empty tuple means the jammer spent the
+        slot re-acquiring).
+        """
+        if self._camping is not None:
+            block = self.blocks[self._camping]
+            if victim_channel in block:
+                return True, self._power(), block
+            # Victim escaped: burn this slot noticing; the strategy learns
+            # which stale block to exclude from the next sweep.
+            stale = self._camping
+            self._camping = None
+            self.strategy.notify_lost(stale)
+            return False, 0.0, ()
+        pick = self.strategy.next_block()
+        block = self.blocks[pick]
+        if victim_channel in block:
+            self._camping = pick
+            self.strategy.notify_found(pick)
+            return True, self._power(), block
+        return False, 0.0, block
+
+
+class SweepJammingEnv:
+    """Mechanistic slotted environment with the 3·I history observation.
+
+    Action space: the paper's DQN output — one action per (channel, power)
+    pair, ``index = channel * num_powers + power_index``. Abstract MDP
+    actions are also accepted via :meth:`step_action` (a hop draws a uniform
+    random different channel), so exact-MDP policies and baselines run on
+    the same mechanics the DQN is trained on.
+    """
+
+    def __init__(
+        self,
+        config: MDPConfig | None = None,
+        *,
+        history_length: int = DEFAULT_HISTORY_LENGTH,
+        seed: SeedLike = None,
+        sweep_strategy=None,
+    ) -> None:
+        self.config = config or MDPConfig()
+        if history_length < 1:
+            raise ConfigurationError("history length must be >= 1")
+        self.history_length = history_length
+        self._rng = make_rng(seed)
+        self._sweep_strategy = sweep_strategy
+        self._jammer = _SweepingJammer(self.config, self._rng, sweep_strategy)
+        self.reset()
+
+    # -- space geometry --------------------------------------------------------
+
+    @property
+    def num_actions(self) -> int:
+        return self.config.num_channels * self.config.num_power_levels
+
+    @property
+    def observation_size(self) -> int:
+        return 3 * self.history_length
+
+    def action_to_channel_power(self, index: int) -> tuple[int, int]:
+        if not 0 <= index < self.num_actions:
+            raise SimulationError(f"action index {index} out of range")
+        return divmod(index, self.config.num_power_levels)
+
+    def channel_power_to_action(self, channel: int, power_index: int) -> int:
+        if not 0 <= channel < self.config.num_channels:
+            raise SimulationError(f"channel {channel} out of range")
+        if not 0 <= power_index < self.config.num_power_levels:
+            raise SimulationError(f"power index {power_index} out of range")
+        return channel * self.config.num_power_levels + power_index
+
+    # -- lifecycle ---------------------------------------------------------------
+
+    def reset(self, *, seed: SeedLike = None) -> np.ndarray:
+        if seed is not None:
+            self._rng = make_rng(seed)
+            self._jammer = _SweepingJammer(
+                self.config, self._rng, self._sweep_strategy
+            )
+        else:
+            self._jammer.reset()
+        self.channel = int(self._rng.integers(self.config.num_channels))
+        self.state: State = 1
+        self._streak = 1
+        self._history: list[tuple[float, float, float]] = [
+            (1.0, self.channel / max(self.config.num_channels - 1, 1), 0.0)
+        ] * self.history_length
+        return self.observation()
+
+    def observation(self) -> np.ndarray:
+        """The DQN input: (outcome, channel, power) of the last I slots."""
+        return np.array(self._history, dtype=np.float64).reshape(-1)
+
+    # -- stepping ---------------------------------------------------------------
+
+    def step_index(self, action_index: int) -> tuple[np.ndarray, float, StepInfo]:
+        channel, power_index = self.action_to_channel_power(action_index)
+        return self._advance(channel, power_index)
+
+    def step_action(self, action: Action) -> tuple[np.ndarray, float, StepInfo]:
+        if action.hop:
+            others = [
+                c for c in range(self.config.num_channels) if c != self.channel
+            ]
+            channel = int(others[int(self._rng.integers(len(others)))])
+        else:
+            channel = self.channel
+        return self._advance(channel, action.power_index)
+
+    def _advance(
+        self, channel: int, power_index: int
+    ) -> tuple[np.ndarray, float, StepInfo]:
+        cfg = self.config
+        if not 0 <= power_index < cfg.num_power_levels:
+            raise SimulationError(f"power index {power_index} out of range")
+        if not 0 <= channel < cfg.num_channels:
+            raise SimulationError(f"channel {channel} out of range")
+        hopped = channel != self.channel
+        previous_channel = self.channel
+        previous_state = self.state
+        self.channel = channel
+
+        attacked, jam_power, attacked_channels = self._jammer.observe_and_attack(
+            channel
+        )
+        tx_power = cfg.tx_power_levels[power_index]
+        if attacked:
+            defeated = tx_power >= jam_power
+            next_state: State = TJ if defeated else J
+            self._streak = 0
+        else:
+            defeated = False
+            if hopped or previous_state in (TJ, J):
+                self._streak = 1
+            else:
+                self._streak = min(self._streak + 1, cfg.sweep_cycle - 1)
+            next_state = self._streak
+
+        success = next_state != J
+        avoided = (
+            hopped and success and previous_channel in attacked_channels
+        )
+        reward = -float(tx_power)
+        if hopped:
+            reward -= cfg.loss_hop
+        if next_state == J:
+            reward -= cfg.loss_jam
+        self.state = next_state
+
+        outcome = 1.0 if next_state not in (TJ, J) else (0.5 if next_state == TJ else 0.0)
+        self._history.pop(0)
+        self._history.append(
+            (
+                outcome,
+                channel / max(cfg.num_channels - 1, 1),
+                power_index / max(cfg.num_power_levels - 1, 1),
+            )
+        )
+        info = StepInfo(
+            state=next_state,
+            success=success,
+            hopped=hopped,
+            power_index=power_index,
+            power_raised=power_index > 0,
+            jam_attempted=attacked,
+            jam_defeated=attacked and defeated,
+            avoided_jam=avoided,
+            reward=reward,
+            channel=channel,
+        )
+        return self.observation(), reward, info
+
+
+__all__ = ["StepInfo", "AnalyticJammingEnv", "SweepJammingEnv"]

@@ -1,0 +1,124 @@
+"""The five evaluation metrics of paper Table I.
+
+======================  =====================================================
+S_T  success rate of Tx  fraction of slots whose transmission succeeded
+A_H  adoption rate of FH fraction of slots whose action hopped
+S_H  success rate of FH  among FH slots, fraction where the hop was *useful*
+                         (the vacated channel was attacked and the slot
+                         succeeded); preventative hops don't count
+A_P  adoption rate of PC fraction of slots transmitting above the minimum
+                         power level
+S_P  success rate of PC  among PC slots, fraction where the raised power
+                         defeated an actual jam attempt
+======================  =====================================================
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.envs import StepInfo
+from repro.errors import SimulationError
+
+
+@dataclass(frozen=True)
+class MetricSummary:
+    """Point estimates of the Table-I metrics over an evaluation run."""
+
+    slots: int
+    success_rate: float  # S_T
+    fh_adoption_rate: float  # A_H
+    fh_success_rate: float  # S_H
+    pc_adoption_rate: float  # A_P
+    pc_success_rate: float  # S_P
+    mean_reward: float
+    jam_attempt_rate: float
+
+    def as_dict(self) -> dict[str, float]:
+        return {
+            "slots": self.slots,
+            "S_T": self.success_rate,
+            "A_H": self.fh_adoption_rate,
+            "S_H": self.fh_success_rate,
+            "A_P": self.pc_adoption_rate,
+            "S_P": self.pc_success_rate,
+            "mean_reward": self.mean_reward,
+            "jam_attempt_rate": self.jam_attempt_rate,
+        }
+
+
+@dataclass
+class SlotLog:
+    """Accumulates per-slot outcomes and reduces them to Table-I metrics."""
+
+    slots: int = 0
+    successes: int = 0
+    hops: int = 0
+    useful_hops: int = 0
+    pc_slots: int = 0
+    pc_wins: int = 0
+    jam_attempts: int = 0
+    total_reward: float = 0.0
+    _history: list[StepInfo] = field(default_factory=list, repr=False)
+    keep_history: bool = False
+
+    def record(self, info: StepInfo) -> None:
+        self.slots += 1
+        self.successes += info.success
+        self.jam_attempts += info.jam_attempted
+        self.total_reward += info.reward
+        if info.hopped:
+            self.hops += 1
+            if info.avoided_jam:
+                self.useful_hops += 1
+        if info.power_raised:
+            self.pc_slots += 1
+            if info.jam_defeated:
+                self.pc_wins += 1
+        if self.keep_history:
+            self._history.append(info)
+
+    def extend(self, infos: list[StepInfo]) -> None:
+        for info in infos:
+            self.record(info)
+
+    @property
+    def history(self) -> list[StepInfo]:
+        if not self.keep_history:
+            raise SimulationError("history was not kept; set keep_history=True")
+        return list(self._history)
+
+    def summary(self) -> MetricSummary:
+        if self.slots == 0:
+            raise SimulationError("no slots recorded")
+        return MetricSummary(
+            slots=self.slots,
+            success_rate=self.successes / self.slots,
+            fh_adoption_rate=self.hops / self.slots,
+            fh_success_rate=(self.useful_hops / self.hops) if self.hops else 0.0,
+            pc_adoption_rate=self.pc_slots / self.slots,
+            pc_success_rate=(self.pc_wins / self.pc_slots) if self.pc_slots else 0.0,
+            mean_reward=self.total_reward / self.slots,
+            jam_attempt_rate=self.jam_attempts / self.slots,
+        )
+
+
+def evaluate_policy(env, policy, *, slots: int) -> MetricSummary:
+    """Run ``policy`` on an environment for ``slots`` slots and summarise.
+
+    Works with both environments: the policy is queried with the current
+    MDP-style state label and its abstract action is executed via
+    ``step``/``step_action``.
+    """
+    if slots <= 0:
+        raise SimulationError("slots must be positive")
+    log = SlotLog()
+    step = getattr(env, "step_action", None) or env.step
+    for _ in range(slots):
+        action = policy.action(env.state)
+        _, _, info = step(action)
+        log.record(info)
+    return log.summary()
+
+
+__all__ = ["MetricSummary", "SlotLog", "evaluate_policy"]

@@ -1,0 +1,114 @@
+"""Policy abstractions: tabular, threshold-structured, and random.
+
+The MDP's optimal policy has the threshold structure of Theorem III.4 —
+stay while the streak is short, hop once it reaches n*. These classes give
+that structure (and arbitrary tabular policies) a uniform callable
+interface used by the environments and the metric harness.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Protocol
+
+from repro.core.mdp import TJ, J, Action, AntiJammingMDP, MDPConfig, State
+from repro.errors import ConfigurationError
+from repro.rng import SeedLike, make_rng
+
+
+class Policy(Protocol):
+    """Anything that maps an MDP state to an action."""
+
+    def action(self, state: State) -> Action:  # pragma: no cover - protocol
+        ...
+
+
+@dataclass(frozen=True)
+class TabularPolicy:
+    """A policy given explicitly as a state -> action table."""
+
+    table: Mapping[State, Action]
+
+    def action(self, state: State) -> Action:
+        try:
+            return self.table[state]
+        except KeyError:
+            raise ConfigurationError(f"policy has no action for state {state!r}") from None
+
+
+@dataclass(frozen=True)
+class ThresholdPolicy:
+    """The structured optimal policy of Theorem III.4.
+
+    Stay (with ``stay_power_index``) while the streak n < ``threshold``;
+    hop (with ``hop_power_index``) at n >= threshold and from TJ/J.
+    """
+
+    threshold: int
+    stay_power_index: int
+    hop_power_index: int
+    #: Whether to hop out of the jammed states; the paper's optimum always
+    #: does once L_J is meaningful, but a degenerate stay-forever policy is
+    #: useful as a worst-case baseline.
+    hop_when_jammed: bool = True
+
+    def __post_init__(self) -> None:
+        if self.threshold < 1:
+            raise ConfigurationError("threshold must be >= 1")
+
+    def action(self, state: State) -> Action:
+        if state in (TJ, J):
+            return Action(hop=self.hop_when_jammed, power_index=self.hop_power_index)
+        n = int(state)
+        if n < self.threshold:
+            return Action(hop=False, power_index=self.stay_power_index)
+        return Action(hop=True, power_index=self.hop_power_index)
+
+
+class RandomPolicy:
+    """Uniformly random action each slot (the exploration floor)."""
+
+    def __init__(self, mdp: AntiJammingMDP, seed: SeedLike = None) -> None:
+        self._actions = mdp.actions
+        self._rng = make_rng(seed)
+
+    def action(self, state: State) -> Action:
+        del state
+        return self._actions[int(self._rng.integers(len(self._actions)))]
+
+
+def policy_from_solution_map(table: Mapping[State, Action]) -> TabularPolicy:
+    """Wrap a solved policy map in the common interface."""
+    return TabularPolicy(dict(table))
+
+
+def extract_threshold(
+    policy: Policy, config: MDPConfig
+) -> int:
+    """Read the hop threshold n* off any policy (Theorem III.4's statistic).
+
+    Returns ``sweep_cycle`` when the policy never hops from a streak state.
+    """
+    for n in range(1, config.sweep_cycle):
+        if policy.action(n).hop:
+            return n
+    return config.sweep_cycle
+
+
+def policy_power_profile(policy: Policy, config: MDPConfig) -> dict[State, float]:
+    """The transmit power the policy uses in each state (diagnostics)."""
+    states: list[State] = [*range(1, config.sweep_cycle), TJ, J]
+    return {
+        x: config.tx_power_levels[policy.action(x).power_index] for x in states
+    }
+
+
+__all__ = [
+    "Policy",
+    "TabularPolicy",
+    "ThresholdPolicy",
+    "RandomPolicy",
+    "policy_from_solution_map",
+    "extract_threshold",
+    "policy_power_profile",
+]

@@ -1,0 +1,92 @@
+"""Experience replay buffer for the DQN."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import TrainingError
+from repro.rng import SeedLike, make_rng
+
+
+@dataclass(frozen=True)
+class Batch:
+    """A sampled mini-batch of transitions."""
+
+    observations: np.ndarray  # (batch, obs_dim)
+    actions: np.ndarray  # (batch,) int
+    rewards: np.ndarray  # (batch,)
+    next_observations: np.ndarray  # (batch, obs_dim)
+
+    @property
+    def size(self) -> int:
+        return self.actions.size
+
+
+class ReplayBuffer:
+    """Fixed-capacity ring buffer of (o, a, r, o') transitions.
+
+    The competition is a continuing task (no terminal states), so no done
+    flags are stored.
+    """
+
+    def __init__(
+        self, capacity: int, observation_size: int, *, seed: SeedLike = None
+    ) -> None:
+        if capacity < 1:
+            raise TrainingError("replay capacity must be positive")
+        if observation_size < 1:
+            raise TrainingError("observation size must be positive")
+        self.capacity = capacity
+        self._obs = np.zeros((capacity, observation_size))
+        self._actions = np.zeros(capacity, dtype=np.int64)
+        self._rewards = np.zeros(capacity)
+        self._next_obs = np.zeros((capacity, observation_size))
+        self._rng = make_rng(seed)
+        self._size = 0
+        self._cursor = 0
+
+    def __len__(self) -> int:
+        return self._size
+
+    @property
+    def is_full(self) -> bool:
+        return self._size == self.capacity
+
+    def push(
+        self,
+        observation: np.ndarray,
+        action: int,
+        reward: float,
+        next_observation: np.ndarray,
+    ) -> None:
+        """Store one transition, evicting the oldest when full."""
+        i = self._cursor
+        self._obs[i] = observation
+        self._actions[i] = action
+        self._rewards[i] = reward
+        self._next_obs[i] = next_observation
+        self._cursor = (self._cursor + 1) % self.capacity
+        self._size = min(self._size + 1, self.capacity)
+
+    def sample(self, batch_size: int) -> Batch:
+        """Sample uniformly with replacement."""
+        if batch_size < 1:
+            raise TrainingError("batch size must be positive")
+        if self._size == 0:
+            raise TrainingError("cannot sample from an empty replay buffer")
+        idx = self._rng.integers(0, self._size, size=batch_size)
+        return Batch(
+            observations=self._obs[idx].copy(),
+            actions=self._actions[idx].copy(),
+            rewards=self._rewards[idx].copy(),
+            next_observations=self._next_obs[idx].copy(),
+        )
+
+    def clear(self) -> None:
+        self._size = 0
+        self._cursor = 0
+
+
+__all__ = ["Batch", "ReplayBuffer"]

@@ -1,0 +1,55 @@
+"""Exception hierarchy for the ``repro`` library.
+
+Every error raised by the library derives from :class:`ReproError`, so that
+callers can catch library failures without catching unrelated bugs.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` library."""
+
+
+class ConfigurationError(ReproError):
+    """A configuration object is internally inconsistent or out of range."""
+
+
+class PhyError(ReproError):
+    """Base class for physical-layer errors."""
+
+
+class EncodingError(PhyError):
+    """A transmit chain was given input it cannot encode."""
+
+
+class DecodingError(PhyError):
+    """A receive chain could not decode its input.
+
+    Raised, for example, when a ZigBee frame fails its CRC, is missing the
+    start-of-frame delimiter, or declares an out-of-range length.
+    """
+
+
+class EmulationError(PhyError):
+    """The cross-technology emulation pipeline failed."""
+
+
+class ChannelError(ReproError):
+    """Invalid channel index, frequency, or spectrum geometry."""
+
+
+class ProtocolError(ReproError):
+    """A MAC/network protocol invariant was violated."""
+
+
+class SimulationError(ReproError):
+    """A simulation engine was driven into an invalid state."""
+
+
+class SolverError(ReproError):
+    """An MDP solver failed to converge or was misconfigured."""
+
+
+class TrainingError(ReproError):
+    """DQN training failed (divergence, empty replay buffer, ...)."""

@@ -1,0 +1,36 @@
+"""The cross-technology attacker.
+
+:mod:`repro.jamming.jammer` implements the time-domain sweeping jammer used
+by the field-experiment simulator — it runs on its *own* slot cadence,
+which may differ from the victim's (the Fig. 11(b) study). The slot-level
+abstraction used for DQN training lives in :mod:`repro.core.envs`.
+
+:mod:`repro.jamming.detector` models how the jammer finds its victim
+(energy sensing, ACK eavesdropping) and how hard the EmuBee signal is for
+the victim to recognise as jamming (stealthiness).
+"""
+
+from repro.jamming.detector import AckEavesdropper, EnergyDetector, StealthReport, stealth_assessment
+from repro.jamming.jammer import AttackProfile, FieldJammer, FieldJammerConfig
+from repro.jamming.strategies import (
+    AdaptiveSweep,
+    RandomSweep,
+    SequentialSweep,
+    SweepStrategy,
+    make_strategy,
+)
+
+__all__ = [
+    "AckEavesdropper",
+    "EnergyDetector",
+    "StealthReport",
+    "stealth_assessment",
+    "AttackProfile",
+    "FieldJammer",
+    "FieldJammerConfig",
+    "AdaptiveSweep",
+    "RandomSweep",
+    "SequentialSweep",
+    "SweepStrategy",
+    "make_strategy",
+]

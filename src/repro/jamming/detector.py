@@ -1,0 +1,109 @@
+"""Victim detection (jammer side) and jamming detection (victim side).
+
+The jammer finds its victim two ways (paper §II-C-1): energy sensing on the
+swept channels, and passively eavesdropping feedback traffic (ACK/NACK).
+Conversely, the victim may try to *recognise* it is being jammed; the
+paper's stealthiness argument (§II-B) is that EmuBee bursts look like
+legitimate-but-broken ZigBee traffic, so a format-based watchdog cannot
+separate them from ordinary collisions, while a plain-noise jammer is
+obvious. :func:`stealth_assessment` quantifies exactly that.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.channel.link import JammerSignalType
+from repro.errors import ConfigurationError
+from repro.phy.packet import FrameListener, ListenOutcome
+from repro.rng import SeedLike, make_rng
+
+
+class EnergyDetector:
+    """Jammer-side energy sensing over a block of channels."""
+
+    def __init__(self, sensitivity_dbm: float = -85.0) -> None:
+        self.sensitivity_dbm = sensitivity_dbm
+
+    def detects(self, rx_power_dbm: float) -> bool:
+        """Whether a victim transmission at this received power is seen."""
+        return rx_power_dbm >= self.sensitivity_dbm
+
+
+class AckEavesdropper:
+    """Jammer-side feedback sniffing.
+
+    The jammer "can passively listen to the feedback information, such as
+    ACK/NACK" to learn whether its attack succeeded. Each victim slot
+    produces feedback the eavesdropper overhears with some probability
+    (it must be on the right channel at the right instant).
+    """
+
+    def __init__(self, overhear_probability: float = 0.9, *, seed: SeedLike = None) -> None:
+        if not 0.0 <= overhear_probability <= 1.0:
+            raise ConfigurationError("overhear probability must be in [0, 1]")
+        self.overhear_probability = overhear_probability
+        self._rng = make_rng(seed)
+
+    def observe(self, victim_transmitted: bool) -> bool | None:
+        """Returns the victim's slot outcome, or ``None`` when missed."""
+        if self._rng.random() >= self.overhear_probability:
+            return None
+        return victim_transmitted
+
+
+@dataclass(frozen=True)
+class StealthReport:
+    """How a victim-side watchdog perceives a jamming campaign."""
+
+    signal_type: JammerSignalType
+    bursts: int
+    flagged_as_jamming: int
+    radio_busy_octets: int
+
+    @property
+    def detection_rate(self) -> float:
+        if self.bursts == 0:
+            return 0.0
+        return self.flagged_as_jamming / self.bursts
+
+
+def stealth_assessment(
+    signal_type: JammerSignalType,
+    bursts: list[bytes],
+) -> StealthReport:
+    """Run a format-based jamming watchdog over received bursts.
+
+    The watchdog flags a burst as jamming when it is *recognisably alien*:
+    plain Wi-Fi energy carries no ZigBee preamble at all and is flagged
+    immediately. EmuBee bursts synchronise the radio and decode as broken
+    ZigBee frames — indistinguishable from ordinary collisions, hence
+    stealthy — and standard-ZigBee jamming bursts likewise parse as (or
+    decode into) plausible traffic.
+    """
+    listener = FrameListener()
+    flagged = 0
+    busy = 0
+    for burst in bursts:
+        report = listener.listen(burst)
+        busy += report.busy_octets
+        if (
+            report.outcome is ListenOutcome.OCCUPIED
+            and report.error == "no preamble"
+        ):
+            # Energy with no chip-level structure: clearly not ZigBee.
+            flagged += 1
+    return StealthReport(
+        signal_type=signal_type,
+        bursts=len(bursts),
+        flagged_as_jamming=flagged,
+        radio_busy_octets=busy,
+    )
+
+
+__all__ = [
+    "EnergyDetector",
+    "AckEavesdropper",
+    "StealthReport",
+    "stealth_assessment",
+]

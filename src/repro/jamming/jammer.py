@@ -1,0 +1,176 @@
+"""Time-domain cross-technology jammer for the field simulator.
+
+Unlike the slot-aligned jammer inside :mod:`repro.core.envs`, this jammer
+runs on its own clock: every ``slot_duration_s`` it makes one decision —
+sweep the next unvisited block of ZigBee channels, camp on the victim, or
+spend the interval re-acquiring a lost victim. Fig. 11(b) varies this
+duration against a fixed victim slot to show both faster *and* slower
+jammers degrade the defence differently.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.constants import (
+    DEFAULT_JAMMER_POWER_LEVELS,
+    NUM_ZIGBEE_CHANNELS,
+    ZIGBEE_CHANNELS_PER_WIFI,
+)
+from repro.core.mdp import JammerMode
+from repro.errors import ConfigurationError
+from repro.rng import SeedLike, make_rng
+
+
+@dataclass(frozen=True)
+class FieldJammerConfig:
+    """Parameters of the time-domain jammer."""
+
+    slot_duration_s: float = 3.0
+    num_channels: int = NUM_ZIGBEE_CHANNELS
+    jam_width: int = ZIGBEE_CHANNELS_PER_WIFI
+    power_levels: tuple[float, ...] = DEFAULT_JAMMER_POWER_LEVELS
+    mode: str = JammerMode.MAX
+
+    def __post_init__(self) -> None:
+        if self.slot_duration_s <= 0:
+            raise ConfigurationError("jammer slot duration must be positive")
+        if not 1 <= self.jam_width <= self.num_channels:
+            raise ConfigurationError("jam width out of range")
+        if not self.power_levels:
+            raise ConfigurationError("jammer needs at least one power level")
+        if self.mode not in JammerMode.ALL:
+            raise ConfigurationError(f"unknown jammer mode {self.mode!r}")
+
+    @property
+    def num_blocks(self) -> int:
+        return -(-self.num_channels // self.jam_width)
+
+
+@dataclass(frozen=True)
+class AttackProfile:
+    """What the jammer did to a victim's slot window."""
+
+    jammed_fraction: float  # fraction of the window under attack
+    attempted: bool  # any overlap between attack and window
+    max_power: float  # strongest jamming level seen in the window
+
+    @property
+    def clean(self) -> bool:
+        return not self.attempted
+
+
+class FieldJammer:
+    """Sweep/camp jammer advanced lazily along the time axis.
+
+    The sweep order is pluggable (see :mod:`repro.jamming.strategies`);
+    the default :class:`~repro.jamming.strategies.RandomSweep` is the
+    paper's uniform without-replacement search.
+    """
+
+    def __init__(
+        self,
+        config: FieldJammerConfig | None = None,
+        *,
+        seed: SeedLike = None,
+        strategy=None,
+    ) -> None:
+        from repro.jamming.strategies import RandomSweep
+
+        self.config = config or FieldJammerConfig()
+        self._rng = make_rng(seed)
+        cfg = self.config
+        bounds = np.linspace(0, cfg.num_channels, cfg.num_blocks + 1).astype(int)
+        self.blocks: list[tuple[int, ...]] = [
+            tuple(range(bounds[i], bounds[i + 1])) for i in range(cfg.num_blocks)
+        ]
+        self.strategy = strategy or RandomSweep(len(self.blocks), seed=self._rng)
+        if self.strategy.num_blocks != len(self.blocks):
+            raise ConfigurationError(
+                f"strategy expects {self.strategy.num_blocks} blocks; "
+                f"geometry has {len(self.blocks)}"
+            )
+        self.reset()
+
+    def reset(self) -> None:
+        self.strategy.reset()
+        self._camping: int | None = None
+        self._active_block: tuple[int, ...] = ()
+        self._active_power: float = 0.0
+        self._next_decision: float = 0.0
+
+    # -- decision making --------------------------------------------------------
+
+    def _power(self) -> float:
+        levels = self.config.power_levels
+        if self.config.mode == JammerMode.MAX:
+            return levels[-1]
+        return levels[int(self._rng.integers(len(levels)))]
+
+    def _decide(self, victim_channel: int) -> None:
+        """One jammer slot's decision given where the victim currently is."""
+        if self._camping is not None:
+            block = self.blocks[self._camping]
+            if victim_channel in block:
+                self._active_block = block
+                self._active_power = self._power()
+                return
+            # Victim escaped: burn this jammer slot re-acquiring.
+            stale = self._camping
+            self._camping = None
+            self.strategy.notify_lost(stale)
+            self._active_block = ()
+            self._active_power = 0.0
+            return
+        pick = self.strategy.next_block()
+        block = self.blocks[pick]
+        self._active_block = block
+        self._active_power = self._power()
+        if victim_channel in block:
+            self._camping = pick
+            self.strategy.notify_found(pick)
+
+    # -- querying ------------------------------------------------------------------
+
+    def attack_profile(
+        self, window_start: float, window_end: float, victim_channel: int
+    ) -> AttackProfile:
+        """Advance the jammer across ``[window_start, window_end)``.
+
+        The victim's channel is constant over the window (one victim slot).
+        Returns how much of the window was attacked and at what power.
+        """
+        if window_end <= window_start:
+            raise ConfigurationError("window must have positive length")
+        if not 0 <= victim_channel < self.config.num_channels:
+            raise ConfigurationError(f"victim channel {victim_channel} out of range")
+        t = window_start
+        jammed = 0.0
+        attempted = False
+        max_power = 0.0
+        while t < window_end:
+            if t >= self._next_decision:
+                self._decide(victim_channel)
+                self._next_decision = (
+                    max(t, self._next_decision) + self.config.slot_duration_s
+                )
+            seg_end = min(window_end, self._next_decision)
+            if victim_channel in self._active_block and self._active_power > 0:
+                attempted = True
+                jammed += seg_end - t
+                max_power = max(max_power, self._active_power)
+            t = seg_end
+        return AttackProfile(
+            jammed_fraction=jammed / (window_end - window_start),
+            attempted=attempted,
+            max_power=max_power,
+        )
+
+    @property
+    def is_camping(self) -> bool:
+        return self._camping is not None
+
+
+__all__ = ["FieldJammerConfig", "AttackProfile", "FieldJammer"]

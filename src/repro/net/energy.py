@@ -1,0 +1,124 @@
+"""Energy accounting for the victim nodes — paper §IV-C-2.
+
+ZigBee exists because of energy budgets ("ZigBee concerns more about
+energy efficiency, whose RF power can be as low as 1mW"), and the paper
+closes its adoption-rate analysis with advice for energy-constrained
+users: the power-control behaviour learned by the agent directly sets the
+radio's consumption. This module turns a recorded slot history into
+millijoules, so defences can be compared by energy per delivered slot, not
+just success rate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.envs import StepInfo
+from repro.errors import ConfigurationError
+
+#: Default transmit powers (mW) for the ten victim power levels: log-spaced
+#: from the 1 mW energy-saver floor to a 10 mW ceiling (CC26x2-class PAs).
+DEFAULT_LEVEL_POWERS_MW = tuple(
+    float(p) for p in np.logspace(0.0, 1.0, 10)
+)
+
+
+@dataclass(frozen=True)
+class EnergyModel:
+    """Per-slot energy calculator for a peripheral node."""
+
+    #: Transmit power (mW) per policy power-level index.
+    level_powers_mw: tuple[float, ...] = DEFAULT_LEVEL_POWERS_MW
+    #: Fraction of a slot spent actually transmitting.
+    tx_duty_cycle: float = 0.3
+    #: Receiver/MCU draw while the radio is awake, mW.
+    idle_power_mw: float = 6.0
+    #: Extra radio-on time cost of a hop (control-channel negotiation), in
+    #: equivalent seconds of idle draw per slot.
+    hop_overhead_s: float = 0.07
+    #: Slot duration in seconds.
+    slot_duration_s: float = 3.0
+
+    def __post_init__(self) -> None:
+        if not self.level_powers_mw or any(p <= 0 for p in self.level_powers_mw):
+            raise ConfigurationError("level powers must be positive")
+        if list(self.level_powers_mw) != sorted(self.level_powers_mw):
+            raise ConfigurationError("level powers must be sorted ascending")
+        if not 0.0 < self.tx_duty_cycle <= 1.0:
+            raise ConfigurationError("tx duty cycle must lie in (0, 1]")
+        if self.idle_power_mw < 0 or self.hop_overhead_s < 0:
+            raise ConfigurationError("idle power and hop overhead must be >= 0")
+        if self.slot_duration_s <= 0:
+            raise ConfigurationError("slot duration must be positive")
+
+    def slot_energy_mj(self, power_index: int, hopped: bool) -> float:
+        """Energy (mJ) one slot costs at a given power level."""
+        if not 0 <= power_index < len(self.level_powers_mw):
+            raise ConfigurationError(
+                f"power index {power_index} out of range"
+            )
+        tx_time = self.tx_duty_cycle * self.slot_duration_s
+        energy = self.level_powers_mw[power_index] * tx_time
+        energy += self.idle_power_mw * self.slot_duration_s
+        if hopped:
+            energy += self.idle_power_mw * self.hop_overhead_s
+        return energy  # mW * s = mJ
+
+
+@dataclass(frozen=True)
+class EnergyReport:
+    """Energy summary of an evaluation run."""
+
+    slots: int
+    total_mj: float
+    successful_slots: int
+    slot_duration_s: float = 3.0
+
+    @property
+    def mean_mj_per_slot(self) -> float:
+        return self.total_mj / self.slots
+
+    @property
+    def mj_per_successful_slot(self) -> float:
+        """Energy per unit of useful communication — the efficiency metric."""
+        if self.successful_slots == 0:
+            return float("inf")
+        return self.total_mj / self.successful_slots
+
+    def lifetime_days(self, battery_mah: float = 220.0, voltage: float = 3.0) -> float:
+        """Projected lifetime on a coin-cell battery at this burn rate."""
+        if battery_mah <= 0 or voltage <= 0:
+            raise ConfigurationError("battery capacity and voltage must be positive")
+        budget_mj = battery_mah * 3.6 * voltage * 1000.0  # mAh -> mJ
+        per_second = self.mean_mj_per_slot / self.slot_duration_s
+        return budget_mj / per_second / 86_400.0
+
+
+def energy_of_run(
+    history: list[StepInfo], model: EnergyModel | None = None
+) -> EnergyReport:
+    """Total energy of a recorded slot history (``SlotLog(keep_history=True)``)."""
+    if not history:
+        raise ConfigurationError("history is empty")
+    model = model or EnergyModel()
+    total = 0.0
+    successes = 0
+    for info in history:
+        total += model.slot_energy_mj(info.power_index, info.hopped)
+        successes += info.success
+    return EnergyReport(
+        slots=len(history),
+        total_mj=total,
+        successful_slots=successes,
+        slot_duration_s=model.slot_duration_s,
+    )
+
+
+__all__ = [
+    "DEFAULT_LEVEL_POWERS_MW",
+    "EnergyModel",
+    "EnergyReport",
+    "energy_of_run",
+]

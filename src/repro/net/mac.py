@@ -1,0 +1,122 @@
+"""Listen-Before-Talk MAC (CSMA/CA) used inside a data phase.
+
+Implements the unslotted CSMA/CA of IEEE 802.15.4 at the fidelity the
+goodput experiments need: clear-channel assessment against the shared
+medium, binary-exponential backoff, ACK timeout and bounded retries. Time
+is accounted in seconds so the data phase of a Tx slot can be filled
+packet by packet (Fig. 10's goodput-vs-slot-duration experiment).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+from repro.rng import SeedLike, make_rng
+
+#: Base backoff unit of 802.15.4 (20 symbols at 62.5 ksym/s).
+BACKOFF_UNIT_S = 320e-6
+
+
+@dataclass(frozen=True)
+class CsmaConfig:
+    """CSMA/CA parameters (802.15.4 defaults)."""
+
+    min_backoff_exponent: int = 3
+    max_backoff_exponent: int = 5
+    max_backoffs: int = 4
+    max_retries: int = 3
+    ack_timeout_s: float = 2.8e-3
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.min_backoff_exponent <= self.max_backoff_exponent:
+            raise ConfigurationError("backoff exponents out of order")
+        if self.max_backoffs < 0 or self.max_retries < 0:
+            raise ConfigurationError("retry limits must be non-negative")
+        if self.ack_timeout_s <= 0:
+            raise ConfigurationError("ACK timeout must be positive")
+
+
+@dataclass
+class MacStats:
+    """Counters accumulated by one MAC instance."""
+
+    attempts: int = 0
+    delivered: int = 0
+    channel_access_failures: int = 0
+    retry_exhaustions: int = 0
+    busy_time_s: float = 0.0
+
+    @property
+    def delivery_ratio(self) -> float:
+        if self.attempts == 0:
+            return 0.0
+        return self.delivered / self.attempts
+
+
+class CsmaMac:
+    """One node's CSMA/CA engine.
+
+    The medium is abstracted as two callables so the MAC composes with both
+    the full :class:`~repro.channel.medium.Medium` and lightweight
+    closures in tests:
+
+    ``channel_busy()``
+        CCA result at the instant of the check.
+    ``transmit()``
+        Attempts the frame; returns True when the ACK came back.
+    """
+
+    def __init__(self, config: CsmaConfig | None = None, *, seed: SeedLike = None) -> None:
+        self.config = config or CsmaConfig()
+        self._rng = make_rng(seed)
+        self.stats = MacStats()
+
+    def _backoff_duration(self, exponent: int) -> float:
+        slots = int(self._rng.integers(0, (1 << exponent)))
+        return slots * BACKOFF_UNIT_S
+
+    def send(
+        self,
+        channel_busy,
+        transmit,
+        frame_airtime_s: float,
+    ) -> tuple[bool, float]:
+        """Run one frame through CSMA/CA.
+
+        Returns ``(delivered, elapsed_seconds)``. ``elapsed_seconds`` covers
+        backoffs, the transmission(s) and ACK waits — the caller subtracts
+        it from the remaining data-phase budget.
+        """
+        if frame_airtime_s <= 0:
+            raise ConfigurationError("frame airtime must be positive")
+        cfg = self.config
+        self.stats.attempts += 1
+        elapsed = 0.0
+        for _retry in range(cfg.max_retries + 1):
+            exponent = cfg.min_backoff_exponent
+            accessed = False
+            for _backoff in range(cfg.max_backoffs + 1):
+                wait = self._backoff_duration(exponent)
+                elapsed += wait
+                if not channel_busy():
+                    accessed = True
+                    break
+                exponent = min(exponent + 1, cfg.max_backoff_exponent)
+            if not accessed:
+                self.stats.channel_access_failures += 1
+                self.stats.busy_time_s += elapsed
+                return False, elapsed
+            elapsed += frame_airtime_s
+            if transmit():
+                elapsed += cfg.ack_timeout_s / 4  # ACK turnaround
+                self.stats.delivered += 1
+                self.stats.busy_time_s += elapsed
+                return True, elapsed
+            elapsed += cfg.ack_timeout_s  # waited the full timeout
+        self.stats.retry_exhaustions += 1
+        self.stats.busy_time_s += elapsed
+        return False, elapsed
+
+
+__all__ = ["BACKOFF_UNIT_S", "CsmaConfig", "MacStats", "CsmaMac"]

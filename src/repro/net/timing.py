@@ -1,0 +1,132 @@
+"""Hardware timing model — paper §IV-D-1, Fig. 9.
+
+The paper measures four latencies on the CC26X2R1/USRP testbed (100 trials
+each): running the DQN (~9 ms), the data/ACK round trip (~0.9 ms), hub-side
+data processing (~0.6 ms), and the per-node polling announcement
+(~13.1 ms). We model each as a gamma-distributed positive random variable
+with the measured mean and a realistic coefficient of variation, plus the
+off-channel recovery behaviour that makes FH negotiation occasionally take
+seconds (Fig. 9(b)).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.constants import (
+    TIME_DATA_PROCESSING_S,
+    TIME_DQN_INFERENCE_S,
+    TIME_POLLING_PER_NODE_S,
+    TIME_ROUND_TRIP_S,
+)
+from repro.errors import ConfigurationError
+from repro.rng import SeedLike, make_rng
+
+
+def _gamma_sample(
+    rng: np.random.Generator, mean: float, cv: float, size: int | None = None
+):
+    """Gamma samples with the given mean and coefficient of variation."""
+    shape = 1.0 / (cv * cv)
+    scale = mean / shape
+    return rng.gamma(shape, scale, size=size)
+
+
+@dataclass(frozen=True)
+class TimingModel:
+    """Stochastic latencies of the hub/peripheral hardware."""
+
+    dqn_inference_mean_s: float = TIME_DQN_INFERENCE_S
+    round_trip_mean_s: float = TIME_ROUND_TRIP_S
+    processing_mean_s: float = TIME_DATA_PROCESSING_S
+    polling_per_node_mean_s: float = TIME_POLLING_PER_NODE_S
+    #: Relative jitter of each latency.
+    jitter_cv: float = 0.12
+    #: Probability a peripheral is off-channel when polled and must be
+    #: awaited on the control channel (the seconds-long tail of Fig. 9(b)).
+    off_channel_probability: float = 0.12
+    #: Mean wait for an off-channel node to return to the control channel.
+    off_channel_recovery_mean_s: float = 2.0
+
+    def __post_init__(self) -> None:
+        for name in (
+            "dqn_inference_mean_s",
+            "round_trip_mean_s",
+            "processing_mean_s",
+            "polling_per_node_mean_s",
+            "off_channel_recovery_mean_s",
+        ):
+            if getattr(self, name) <= 0:
+                raise ConfigurationError(f"{name} must be positive")
+        if not 0 < self.jitter_cv < 1:
+            raise ConfigurationError("jitter_cv must lie in (0, 1)")
+        if not 0.0 <= self.off_channel_probability <= 1.0:
+            raise ConfigurationError("off_channel_probability must be in [0, 1]")
+
+    # -- individual latencies (Fig. 9(a)) ------------------------------------
+
+    def dqn_inference(self, rng: SeedLike = None, size: int | None = None):
+        """Time for the hub to run the DQN forward pass."""
+        return _gamma_sample(make_rng(rng), self.dqn_inference_mean_s, self.jitter_cv, size)
+
+    def round_trip(self, rng: SeedLike = None, size: int | None = None):
+        """Data + ACK round-trip time of one packet."""
+        return _gamma_sample(make_rng(rng), self.round_trip_mean_s, self.jitter_cv, size)
+
+    def processing(self, rng: SeedLike = None, size: int | None = None):
+        """Hub-side processing time after receiving one packet."""
+        return _gamma_sample(make_rng(rng), self.processing_mean_s, self.jitter_cv, size)
+
+    def polling(self, rng: SeedLike = None, size: int | None = None):
+        """Per-node polling announcement time."""
+        return _gamma_sample(
+            make_rng(rng), self.polling_per_node_mean_s, self.jitter_cv, size
+        )
+
+    # -- composite costs ---------------------------------------------------------
+
+    def packet_service_time(self, rng: SeedLike = None) -> float:
+        """Air + processing time consumed by one delivered data packet.
+
+        RTT + hub processing + a CSMA turnaround of the same order as the
+        RTT; calibrated so the no-jamming goodput of Fig. 10(a) lands near
+        the paper's 148..806 packets/slot over 1..5 s slots.
+        """
+        r = make_rng(rng)
+        turnaround = _gamma_sample(r, 4.6e-3, self.jitter_cv)
+        return float(
+            self.round_trip(r) + self.processing(r) + turnaround
+        )
+
+    def negotiation_time(
+        self,
+        num_nodes: int,
+        rng: SeedLike = None,
+        *,
+        include_recovery: bool = True,
+    ) -> float:
+        """FH negotiation time for a network of ``num_nodes`` peripherals.
+
+        The hub polls every node (13.1 ms each) and, when a node is not on
+        the expected channel, waits for it to reappear on the control
+        channel — this is what stretches negotiation to seconds for larger
+        networks (Fig. 9(b)). ``include_recovery=False`` gives the typical
+        per-slot announcement cost (all nodes already synchronised), the
+        ~0.07 s overhead of Fig. 10(b).
+        """
+        if num_nodes < 1:
+            raise ConfigurationError(f"need at least one node, got {num_nodes}")
+        r = make_rng(rng)
+        total = float(self.dqn_inference(r))
+        for _ in range(num_nodes):
+            total += float(self.polling(r))
+            if include_recovery and r.random() < self.off_channel_probability:
+                total += float(
+                    _gamma_sample(r, self.off_channel_recovery_mean_s, 0.6)
+                )
+        return total
+
+
+__all__ = ["TimingModel"]

@@ -1,0 +1,80 @@
+"""Flat-parameter (de)serialisation of networks.
+
+The paper ships its trained policy to the CC26X2R1 hub as "a series of
+matrices, which contain 10664 float numbers with 42.7KB memory". These
+helpers produce exactly that artifact: a single float32 vector plus a shape
+manifest, written with :func:`numpy.savez`.
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.nn.network import Network
+
+
+def parameter_count(network: Network) -> int:
+    """Total number of scalar parameters (the paper's "10664 floats")."""
+    return network.num_parameters()
+
+
+def artifact_size_bytes(network: Network, dtype: str = "float32") -> int:
+    """Size of the flat parameter artifact (42.7 KB for the paper's net)."""
+    return parameter_count(network) * np.dtype(dtype).itemsize
+
+
+def flatten_parameters(network: Network, dtype: str = "float32") -> np.ndarray:
+    """Concatenate all parameters into one vector."""
+    return np.concatenate(
+        [p.reshape(-1).astype(dtype) for p in network.parameters]
+    )
+
+
+def unflatten_parameters(network: Network, flat: np.ndarray) -> None:
+    """Load a flat vector back into ``network`` (shapes must match)."""
+    flat = np.asarray(flat).reshape(-1)
+    expected = parameter_count(network)
+    if flat.size != expected:
+        raise ConfigurationError(
+            f"flat vector holds {flat.size} floats; network needs {expected}"
+        )
+    offset = 0
+    for p in network.parameters:
+        chunk = flat[offset : offset + p.size]
+        p[...] = chunk.reshape(p.shape).astype(np.float64)
+        offset += p.size
+
+
+def save_parameters(network: Network, path: str | os.PathLike) -> None:
+    """Write the deployable artifact: flat float32 params + shape manifest."""
+    shapes = np.array(
+        [list(p.shape) + [0] * (2 - p.ndim) for p in network.parameters],
+        dtype=np.int64,
+    )
+    np.savez(
+        path,
+        flat=flatten_parameters(network),
+        shapes=shapes,
+        ndims=np.array([p.ndim for p in network.parameters], dtype=np.int64),
+    )
+
+
+def load_parameters(network: Network, path: str | os.PathLike) -> None:
+    """Load an artifact written by :func:`save_parameters` into ``network``."""
+    with np.load(path) as data:
+        if "flat" not in data:
+            raise ConfigurationError(f"{path} is not a parameter artifact")
+        unflatten_parameters(network, data["flat"])
+
+
+__all__ = [
+    "parameter_count",
+    "artifact_size_bytes",
+    "flatten_parameters",
+    "unflatten_parameters",
+    "save_parameters",
+    "load_parameters",
+]

@@ -1,0 +1,153 @@
+"""Bit-level utilities shared by both PHY chains.
+
+All bit arrays in the library are 1-D :class:`numpy.ndarray` of dtype
+``uint8`` containing only 0s and 1s. Helpers here convert between bytes and
+bits, validate bit arrays, and compute the CRC-16/ITU-T frame check sequence
+that IEEE 802.15.4 appends to every PSDU.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import EncodingError
+
+BitArray = np.ndarray
+
+
+def as_bits(bits: "np.typing.ArrayLike") -> BitArray:
+    """Coerce ``bits`` to a validated uint8 bit array.
+
+    Raises :class:`~repro.errors.EncodingError` if any element is not 0/1.
+    """
+    arr = np.asarray(bits, dtype=np.uint8).ravel()
+    if arr.size and arr.max(initial=0) > 1:
+        raise EncodingError("bit array contains values other than 0 and 1")
+    return arr
+
+
+def bytes_to_bits(data: bytes, *, lsb_first: bool = True) -> BitArray:
+    """Expand ``data`` into a bit array.
+
+    Both 802.15.4 and 802.11 serialise octets least-significant-bit first,
+    which is the default here.
+    """
+    if not data:
+        return np.zeros(0, dtype=np.uint8)
+    octets = np.frombuffer(bytes(data), dtype=np.uint8)
+    bits = np.unpackbits(octets, bitorder="little" if lsb_first else "big")
+    return bits.astype(np.uint8)
+
+
+def bits_to_bytes(bits: "np.typing.ArrayLike", *, lsb_first: bool = True) -> bytes:
+    """Pack a bit array (length divisible by 8) back into bytes."""
+    arr = as_bits(bits)
+    if arr.size % 8:
+        raise EncodingError(f"bit length {arr.size} is not a multiple of 8")
+    packed = np.packbits(arr, bitorder="little" if lsb_first else "big")
+    return packed.tobytes()
+
+
+def int_to_bits(value: int, width: int, *, lsb_first: bool = True) -> BitArray:
+    """Serialise ``value`` into ``width`` bits."""
+    if value < 0:
+        raise EncodingError("cannot serialise a negative integer")
+    if width <= 0:
+        raise EncodingError("bit width must be positive")
+    if value >= 1 << width:
+        raise EncodingError(f"value {value} does not fit in {width} bits")
+    bits = np.array([(value >> i) & 1 for i in range(width)], dtype=np.uint8)
+    return bits if lsb_first else bits[::-1].copy()
+
+
+def bits_to_int(bits: "np.typing.ArrayLike", *, lsb_first: bool = True) -> int:
+    """Interpret a bit array as an unsigned integer."""
+    arr = as_bits(bits)
+    if not lsb_first:
+        arr = arr[::-1]
+    return int(sum(int(b) << i for i, b in enumerate(arr)))
+
+
+def hamming_distance(a: "np.typing.ArrayLike", b: "np.typing.ArrayLike") -> int:
+    """Number of positions in which two equal-length bit arrays differ."""
+    xa, xb = as_bits(a), as_bits(b)
+    if xa.size != xb.size:
+        raise EncodingError(
+            f"length mismatch: {xa.size} vs {xb.size} bits"
+        )
+    return int(np.count_nonzero(xa != xb))
+
+
+def bit_error_rate(a: "np.typing.ArrayLike", b: "np.typing.ArrayLike") -> float:
+    """Fraction of differing bits between two equal-length bit arrays."""
+    xa = as_bits(a)
+    if xa.size == 0:
+        return 0.0
+    return hamming_distance(xa, b) / xa.size
+
+
+def crc16_itut(data: bytes, *, initial: int = 0x0000) -> int:
+    """CRC-16/ITU-T as used for the IEEE 802.15.4 frame check sequence.
+
+    Polynomial x^16 + x^12 + x^5 + 1 (0x1021), bit-reflected implementation
+    (LSB-first shifting, as the standard transmits octets LSB first), zero
+    initial value. Returns the 16-bit FCS.
+    """
+    crc = initial & 0xFFFF
+    for octet in bytes(data):
+        crc ^= octet
+        for _ in range(8):
+            if crc & 1:
+                crc = (crc >> 1) ^ 0x8408  # 0x1021 reflected
+            else:
+                crc >>= 1
+    return crc & 0xFFFF
+
+
+def append_crc(data: bytes) -> bytes:
+    """Return ``data`` with its little-endian CRC-16/ITU-T appended."""
+    crc = crc16_itut(data)
+    return bytes(data) + bytes((crc & 0xFF, crc >> 8))
+
+
+def check_crc(data_with_crc: bytes) -> bool:
+    """Validate a payload produced by :func:`append_crc`."""
+    if len(data_with_crc) < 2:
+        return False
+    body, fcs = data_with_crc[:-2], data_with_crc[-2:]
+    expected = crc16_itut(body)
+    return fcs == bytes((expected & 0xFF, expected >> 8))
+
+
+def flip_bits(
+    bits: "np.typing.ArrayLike",
+    error_rate: float,
+    rng: np.random.Generator,
+) -> BitArray:
+    """Return a copy of ``bits`` with each bit flipped independently.
+
+    Used by tests and examples to inject channel errors at a target BER.
+    """
+    arr = as_bits(bits).copy()
+    if not 0.0 <= error_rate <= 1.0:
+        raise ValueError(f"error rate must be in [0, 1], got {error_rate}")
+    if arr.size and error_rate > 0.0:
+        mask = rng.random(arr.size) < error_rate
+        arr[mask] ^= 1
+    return arr
+
+
+__all__ = [
+    "BitArray",
+    "as_bits",
+    "bytes_to_bits",
+    "bits_to_bytes",
+    "int_to_bits",
+    "bits_to_int",
+    "hamming_distance",
+    "bit_error_rate",
+    "crc16_itut",
+    "append_crc",
+    "check_crc",
+    "flip_bits",
+]

@@ -1,0 +1,257 @@
+"""Rate-1/2, constraint-length-7 convolutional code of IEEE 802.11.
+
+Generator polynomials g0 = 133 (octal) and g1 = 171 (octal). Higher rates
+(2/3, 3/4) are derived by puncturing. Decoding is hard-decision Viterbi with
+traceback over the full message (adequate for the short emulation blocks the
+paper needs).
+
+The emulation pipeline (paper Fig. 1) runs the *decoder* on quantized
+waveform bits to discover a feasible payload, then re-encodes it — so both
+directions here must be exact inverses on valid codewords.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import DecodingError, EncodingError
+from repro.phy.bits import BitArray, as_bits
+
+#: Constraint length.
+CONSTRAINT_LENGTH = 7
+
+#: Generator polynomials, octal 133 and 171.
+G0 = 0o133
+G1 = 0o171
+
+_NUM_STATES = 1 << (CONSTRAINT_LENGTH - 1)
+
+#: Puncturing patterns from IEEE 802.11-2016 §17.3.5.7, expressed over the
+#: (A, B) output streams. A ``1`` keeps the bit, a ``0`` deletes it.
+PUNCTURE_PATTERNS: dict[str, tuple[tuple[int, ...], tuple[int, ...]]] = {
+    "1/2": ((1,), (1,)),
+    "2/3": ((1, 1), (1, 0)),
+    "3/4": ((1, 1, 0), (1, 0, 1)),
+}
+
+
+def _parity(x: int) -> int:
+    return bin(x).count("1") & 1
+
+
+def _build_tables() -> tuple[np.ndarray, np.ndarray]:
+    """Precompute next-state and output tables indexed by (state, input)."""
+    next_state = np.zeros((_NUM_STATES, 2), dtype=np.int32)
+    outputs = np.zeros((_NUM_STATES, 2, 2), dtype=np.uint8)
+    for state in range(_NUM_STATES):
+        for bit in (0, 1):
+            register = (bit << (CONSTRAINT_LENGTH - 1)) | state
+            out0 = _parity(register & G0)
+            out1 = _parity(register & G1)
+            next_state[state, bit] = register >> 1
+            outputs[state, bit, 0] = out0
+            outputs[state, bit, 1] = out1
+    return next_state, outputs
+
+
+_NEXT_STATE, _OUTPUTS = _build_tables()
+
+
+@dataclass(frozen=True)
+class CodeRate:
+    """A supported coding rate with its puncturing pattern."""
+
+    name: str
+    numerator: int
+    denominator: int
+
+    @property
+    def ratio(self) -> float:
+        return self.numerator / self.denominator
+
+    @classmethod
+    def from_name(cls, name: str) -> "CodeRate":
+        if name not in PUNCTURE_PATTERNS:
+            raise EncodingError(
+                f"unsupported code rate {name!r}; expected one of "
+                f"{sorted(PUNCTURE_PATTERNS)}"
+            )
+        num, den = (int(p) for p in name.split("/"))
+        return cls(name=name, numerator=num, denominator=den)
+
+
+def conv_encode(bits: "np.typing.ArrayLike") -> BitArray:
+    """Encode ``bits`` at rate 1/2; output interleaves the A and B streams.
+
+    The encoder starts in the all-zero state; the caller is responsible for
+    appending tail bits if state termination is wanted (the Wi-Fi chain
+    appends six zero tail bits).
+    """
+    arr = as_bits(bits)
+    out = np.empty(arr.size * 2, dtype=np.uint8)
+    state = 0
+    for i, bit in enumerate(arr):
+        b = int(bit)
+        out[2 * i] = _OUTPUTS[state, b, 0]
+        out[2 * i + 1] = _OUTPUTS[state, b, 1]
+        state = int(_NEXT_STATE[state, b])
+    return out
+
+
+def puncture(coded: "np.typing.ArrayLike", rate: str) -> BitArray:
+    """Delete bits from a rate-1/2 stream according to ``rate``'s pattern."""
+    arr = as_bits(coded)
+    if arr.size % 2:
+        raise EncodingError("coded stream length must be even before puncturing")
+    pat_a, pat_b = PUNCTURE_PATTERNS[CodeRate.from_name(rate).name]
+    period = len(pat_a)
+    keep = np.empty(arr.size, dtype=bool)
+    keep[0::2] = [pat_a[i % period] == 1 for i in range(arr.size // 2)]
+    keep[1::2] = [pat_b[i % period] == 1 for i in range(arr.size // 2)]
+    return arr[keep]
+
+
+def depuncture(punctured: "np.typing.ArrayLike", rate: str) -> tuple[BitArray, np.ndarray]:
+    """Re-insert erasures removed by :func:`puncture`.
+
+    Returns ``(bits, known_mask)`` where erased positions hold 0 and the mask
+    marks positions that carry real channel observations.
+    """
+    arr = as_bits(punctured)
+    pat_a, pat_b = PUNCTURE_PATTERNS[CodeRate.from_name(rate).name]
+    period = len(pat_a)
+    kept_per_period = sum(pat_a) + sum(pat_b)
+    if arr.size % kept_per_period:
+        raise DecodingError(
+            f"punctured length {arr.size} is not a multiple of the "
+            f"{rate} pattern ({kept_per_period} bits/period)"
+        )
+    periods = arr.size // kept_per_period
+    full = np.zeros(periods * period * 2, dtype=np.uint8)
+    mask = np.zeros(periods * period * 2, dtype=bool)
+    src = 0
+    for p in range(periods):
+        for j in range(period):
+            base = (p * period + j) * 2
+            if pat_a[j]:
+                full[base] = arr[src]
+                mask[base] = True
+                src += 1
+            if pat_b[j]:
+                full[base + 1] = arr[src]
+                mask[base + 1] = True
+                src += 1
+    return full, mask
+
+
+def viterbi_decode(
+    coded: "np.typing.ArrayLike",
+    *,
+    known_mask: np.ndarray | None = None,
+    terminated: bool = False,
+) -> BitArray:
+    """Hard-decision Viterbi decode of a rate-1/2 stream.
+
+    Parameters
+    ----------
+    coded:
+        Interleaved (A, B) channel bits; length must be even.
+    known_mask:
+        Optional boolean mask (same length) marking which positions carry
+        real observations; erased positions contribute no branch metric.
+        Produced by :func:`depuncture`.
+    terminated:
+        If true, assume the encoder was driven back to state 0 by tail bits
+        and trace back from state 0; otherwise from the best end state.
+    """
+    arr = as_bits(coded)
+    if arr.size % 2:
+        raise DecodingError("coded stream length must be even")
+    steps = arr.size // 2
+    if known_mask is None:
+        known_mask = np.ones(arr.size, dtype=bool)
+    else:
+        known_mask = np.asarray(known_mask, dtype=bool).ravel()
+        if known_mask.size != arr.size:
+            raise DecodingError("known_mask length must match coded length")
+
+    inf = np.iinfo(np.int32).max // 2
+    metrics = np.full(_NUM_STATES, inf, dtype=np.int64)
+    metrics[0] = 0
+    # survivors[t, s] = (previous state << 1) | input bit
+    survivors = np.zeros((steps, _NUM_STATES), dtype=np.int32)
+
+    out0 = _OUTPUTS[:, :, 0].astype(np.int64)  # (state, bit)
+    out1 = _OUTPUTS[:, :, 1].astype(np.int64)
+    nxt = _NEXT_STATE  # (state, bit)
+
+    for t in range(steps):
+        r0, r1 = int(arr[2 * t]), int(arr[2 * t + 1])
+        k0, k1 = bool(known_mask[2 * t]), bool(known_mask[2 * t + 1])
+        branch = np.zeros((_NUM_STATES, 2), dtype=np.int64)
+        if k0:
+            branch += out0 != r0
+        if k1:
+            branch += out1 != r1
+        cand = metrics[:, None] + branch  # (state, bit)
+        new_metrics = np.full(_NUM_STATES, inf, dtype=np.int64)
+        new_surv = np.zeros(_NUM_STATES, dtype=np.int32)
+        flat_next = nxt.ravel()
+        flat_cand = cand.ravel()
+        order = np.argsort(flat_cand, kind="stable")
+        seen = np.zeros(_NUM_STATES, dtype=bool)
+        for idx in order:
+            ns = flat_next[idx]
+            if not seen[ns]:
+                seen[ns] = True
+                new_metrics[ns] = flat_cand[idx]
+                state = idx >> 1
+                bit = idx & 1
+                new_surv[ns] = (state << 1) | bit
+                if seen.all():
+                    break
+        metrics = new_metrics
+        survivors[t] = new_surv
+
+    state = 0 if terminated else int(np.argmin(metrics))
+    decoded = np.empty(steps, dtype=np.uint8)
+    for t in range(steps - 1, -1, -1):
+        packed = int(survivors[t, state])
+        decoded[t] = packed & 1
+        state = packed >> 1
+    return decoded
+
+
+def encode_with_rate(bits: "np.typing.ArrayLike", rate: str = "1/2") -> BitArray:
+    """Convenience: rate-1/2 encode then puncture to ``rate``."""
+    coded = conv_encode(bits)
+    if rate == "1/2":
+        return coded
+    return puncture(coded, rate)
+
+
+def decode_with_rate(
+    coded: "np.typing.ArrayLike", rate: str = "1/2", *, terminated: bool = False
+) -> BitArray:
+    """Convenience: depuncture from ``rate`` then Viterbi decode."""
+    if rate == "1/2":
+        return viterbi_decode(coded, terminated=terminated)
+    full, mask = depuncture(coded, rate)
+    return viterbi_decode(full, known_mask=mask, terminated=terminated)
+
+
+__all__ = [
+    "CONSTRAINT_LENGTH",
+    "G0",
+    "G1",
+    "PUNCTURE_PATTERNS",
+    "CodeRate",
+    "conv_encode",
+    "puncture",
+    "depuncture",
+    "viterbi_decode",
+    "encode_with_rate",
+    "decode_with_rate",
+]

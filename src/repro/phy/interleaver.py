@@ -1,0 +1,87 @@
+"""IEEE 802.11 two-permutation block interleaver.
+
+Coded bits are interleaved per OFDM symbol (block size ``n_cbps`` — coded
+bits per symbol). The first permutation maps adjacent coded bits onto
+non-adjacent subcarriers; the second rotates bits within a subcarrier's
+constellation word so long runs don't land on low-reliability bit positions.
+
+The emulation pipeline (paper Fig. 1) runs the inverse permutation
+("deinterleaving") on quantized constellation bits.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import EncodingError
+from repro.phy.bits import BitArray, as_bits
+
+#: Number of interleaver columns defined by the standard.
+NUM_COLUMNS = 16
+
+
+def interleave_permutation(n_cbps: int, n_bpsc: int) -> np.ndarray:
+    """Return the index map ``perm`` with ``out[perm[k]] = in[k]``.
+
+    Parameters
+    ----------
+    n_cbps:
+        Coded bits per OFDM symbol (block size).
+    n_bpsc:
+        Coded bits per subcarrier (1 for BPSK ... 6 for 64-QAM).
+    """
+    if n_cbps <= 0 or n_cbps % NUM_COLUMNS:
+        raise EncodingError(
+            f"n_cbps must be a positive multiple of {NUM_COLUMNS}, got {n_cbps}"
+        )
+    if n_bpsc <= 0 or n_cbps % n_bpsc:
+        raise EncodingError(
+            f"n_bpsc must divide n_cbps, got n_bpsc={n_bpsc}, n_cbps={n_cbps}"
+        )
+    s = max(n_bpsc // 2, 1)
+    k = np.arange(n_cbps)
+    # First permutation.
+    i = (n_cbps // NUM_COLUMNS) * (k % NUM_COLUMNS) + k // NUM_COLUMNS
+    # Second permutation.
+    j = s * (i // s) + (i + n_cbps - (NUM_COLUMNS * i) // n_cbps) % s
+    return j.astype(np.int64)
+
+
+def interleave(bits: "np.typing.ArrayLike", n_cbps: int, n_bpsc: int) -> BitArray:
+    """Interleave one or more ``n_cbps``-bit blocks."""
+    arr = as_bits(bits)
+    if arr.size % n_cbps:
+        raise EncodingError(
+            f"input length {arr.size} is not a multiple of the block size {n_cbps}"
+        )
+    perm = interleave_permutation(n_cbps, n_bpsc)
+    out = np.empty_like(arr)
+    for start in range(0, arr.size, n_cbps):
+        block = arr[start : start + n_cbps]
+        out_block = np.empty_like(block)
+        out_block[perm] = block
+        out[start : start + n_cbps] = out_block
+    return out
+
+
+def deinterleave(bits: "np.typing.ArrayLike", n_cbps: int, n_bpsc: int) -> BitArray:
+    """Invert :func:`interleave` on one or more blocks."""
+    arr = as_bits(bits)
+    if arr.size % n_cbps:
+        raise EncodingError(
+            f"input length {arr.size} is not a multiple of the block size {n_cbps}"
+        )
+    perm = interleave_permutation(n_cbps, n_bpsc)
+    out = np.empty_like(arr)
+    for start in range(0, arr.size, n_cbps):
+        block = arr[start : start + n_cbps]
+        out[start : start + n_cbps] = block[perm]
+    return out
+
+
+__all__ = [
+    "NUM_COLUMNS",
+    "interleave_permutation",
+    "interleave",
+    "deinterleave",
+]

@@ -1,0 +1,130 @@
+"""Gray-mapped QAM constellations used by the 802.11 OFDM PHY.
+
+Provides BPSK, QPSK, 16-QAM and 64-QAM with the standard's Gray mapping and
+normalisation factors, plus nearest-point hard demapping. The emulation
+attack's quantization stage (paper Eqs. (1)–(2)) scales the 64-QAM lattice
+by a factor α before snapping designed waveform points onto it; the scaled
+constellation helper lives here so both the modem and the emulator share it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import EncodingError
+from repro.phy.bits import BitArray, as_bits
+
+#: Per-axis Gray code used by 802.11 for 16/64-QAM: index -> amplitude level.
+_GRAY_2 = {(0,): -1, (1,): 1}
+_GRAY_4 = {(0, 0): -3, (0, 1): -1, (1, 1): 1, (1, 0): 3}
+_GRAY_8 = {
+    (0, 0, 0): -7,
+    (0, 0, 1): -5,
+    (0, 1, 1): -3,
+    (0, 1, 0): -1,
+    (1, 1, 0): 1,
+    (1, 1, 1): 3,
+    (1, 0, 1): 5,
+    (1, 0, 0): 7,
+}
+
+#: Normalisation factors K_MOD from IEEE 802.11-2016 Table 17-10.
+KMOD = {1: 1.0, 2: 1 / np.sqrt(2), 4: 1 / np.sqrt(10), 6: 1 / np.sqrt(42)}
+
+
+@dataclass(frozen=True)
+class Constellation:
+    """A Gray-mapped constellation with ``bits_per_symbol`` bits per point."""
+
+    bits_per_symbol: int
+    points: np.ndarray  # complex, indexed by the integer formed by the bits
+    labels: np.ndarray  # (size, bits_per_symbol) uint8
+
+    @property
+    def size(self) -> int:
+        return self.points.size
+
+    def modulate(self, bits: "np.typing.ArrayLike") -> np.ndarray:
+        """Map a bit array (length divisible by bits_per_symbol) to symbols."""
+        arr = as_bits(bits)
+        if arr.size % self.bits_per_symbol:
+            raise EncodingError(
+                f"bit length {arr.size} not a multiple of {self.bits_per_symbol}"
+            )
+        groups = arr.reshape(-1, self.bits_per_symbol)
+        weights = 1 << np.arange(self.bits_per_symbol - 1, -1, -1)
+        idx = groups @ weights
+        return self.points[idx]
+
+    def demodulate(self, symbols: "np.typing.ArrayLike") -> BitArray:
+        """Hard-decision nearest-point demapping back to bits."""
+        sym = np.asarray(symbols, dtype=np.complex128).ravel()
+        idx = self.nearest_index(sym)
+        return self.labels[idx].reshape(-1).astype(np.uint8)
+
+    def nearest_index(self, symbols: np.ndarray) -> np.ndarray:
+        """Index of the constellation point closest to each input symbol."""
+        sym = np.asarray(symbols, dtype=np.complex128).ravel()
+        d2 = np.abs(sym[:, None] - self.points[None, :]) ** 2
+        return np.argmin(d2, axis=1)
+
+    def quantization_error(self, symbols: np.ndarray, alpha: float = 1.0) -> float:
+        """Total squared distance from symbols to the α-scaled lattice.
+
+        This is E(α) of paper Eq. (1) with this constellation as {P_i}.
+        """
+        sym = np.asarray(symbols, dtype=np.complex128).ravel()
+        scaled = alpha * self.points
+        d2 = np.abs(sym[:, None] - scaled[None, :]) ** 2
+        return float(d2.min(axis=1).sum())
+
+
+def _build(bits_per_symbol: int) -> Constellation:
+    if bits_per_symbol == 1:
+        labels = np.array([[0], [1]], dtype=np.uint8)
+        points = np.array([-1.0 + 0j, 1.0 + 0j]) * KMOD[1]
+        return Constellation(1, points, labels)
+    half = bits_per_symbol // 2
+    table = {1: _GRAY_2, 2: _GRAY_4, 3: _GRAY_8}[half]
+    size = 1 << bits_per_symbol
+    labels = np.zeros((size, bits_per_symbol), dtype=np.uint8)
+    points = np.zeros(size, dtype=np.complex128)
+    for idx in range(size):
+        bits = [(idx >> (bits_per_symbol - 1 - b)) & 1 for b in range(bits_per_symbol)]
+        i_bits = tuple(bits[:half])
+        q_bits = tuple(bits[half:])
+        labels[idx] = bits
+        points[idx] = complex(table[i_bits], table[q_bits]) * KMOD[bits_per_symbol]
+    return Constellation(bits_per_symbol, points, labels)
+
+
+BPSK = _build(1)
+QPSK = _build(2)
+QAM16 = _build(4)
+QAM64 = _build(6)
+
+_BY_BITS = {1: BPSK, 2: QPSK, 4: QAM16, 6: QAM64}
+
+
+def constellation_for(bits_per_symbol: int) -> Constellation:
+    """Look up the shared constellation with ``bits_per_symbol`` bits."""
+    try:
+        return _BY_BITS[bits_per_symbol]
+    except KeyError:
+        raise EncodingError(
+            f"no constellation with {bits_per_symbol} bits/symbol; "
+            f"supported: {sorted(_BY_BITS)}"
+        ) from None
+
+
+__all__ = [
+    "Constellation",
+    "constellation_for",
+    "BPSK",
+    "QPSK",
+    "QAM16",
+    "QAM64",
+    "KMOD",
+]

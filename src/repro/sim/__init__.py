@@ -1,0 +1,36 @@
+"""Simulation engines.
+
+:mod:`repro.sim.engine` — generic slotted simulation loop.
+:mod:`repro.sim.scenario` — canonical parameter sets (the paper's §IV-A
+defaults and the named scenarios of each figure).
+:mod:`repro.sim.field` — the "real-world field experiment" simulator that
+combines the network timing model, the time-domain jammer and an
+anti-jamming policy to produce goodput in packets per time slot
+(Figs. 9–11).
+"""
+
+from repro.sim.engine import SlotRecord, SlottedSimulation
+from repro.sim.field import (
+    DQNPolicyAdapter,
+    FieldConfig,
+    FieldExperiment,
+    FieldResult,
+    StatePolicyAdapter,
+)
+from repro.sim.scenario import paper_defaults, scheme_policy
+from repro.sim.testbed import Testbed, TestbedConfig, WindowStats
+
+__all__ = [
+    "SlotRecord",
+    "SlottedSimulation",
+    "DQNPolicyAdapter",
+    "FieldConfig",
+    "FieldExperiment",
+    "FieldResult",
+    "StatePolicyAdapter",
+    "paper_defaults",
+    "scheme_policy",
+    "Testbed",
+    "TestbedConfig",
+    "WindowStats",
+]

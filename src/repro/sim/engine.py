@@ -1,0 +1,65 @@
+"""Generic slotted simulation loop.
+
+Both the abstract environments and the field experiment advance in fixed
+time slots. :class:`SlottedSimulation` centralises the loop plumbing —
+clock, slot counter, per-slot records, deterministic seeding — so concrete
+simulations only implement :meth:`run_slot`.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+from typing import Any, Generic, TypeVar
+
+from repro.errors import SimulationError
+from repro.rng import SeedLike, make_rng
+
+RecordT = TypeVar("RecordT")
+
+
+@dataclass(frozen=True)
+class SlotRecord:
+    """Default per-slot record: a slot index plus free-form payload."""
+
+    slot: int
+    payload: Any
+
+
+class SlottedSimulation(abc.ABC, Generic[RecordT]):
+    """Base class driving a slot-by-slot simulation."""
+
+    def __init__(self, slot_duration_s: float, *, seed: SeedLike = None) -> None:
+        if slot_duration_s <= 0:
+            raise SimulationError("slot duration must be positive")
+        self.slot_duration_s = float(slot_duration_s)
+        self.rng = make_rng(seed)
+        self.current_slot = 0
+        self.records: list[RecordT] = []
+
+    @property
+    def now(self) -> float:
+        """Simulation time at the start of the current slot."""
+        return self.current_slot * self.slot_duration_s
+
+    @abc.abstractmethod
+    def run_slot(self, slot_index: int, start_time: float) -> RecordT:
+        """Execute one slot and return its record."""
+
+    def run(self, num_slots: int) -> list[RecordT]:
+        """Run ``num_slots`` slots, appending to :attr:`records`."""
+        if num_slots < 1:
+            raise SimulationError("must run at least one slot")
+        new: list[RecordT] = []
+        for _ in range(num_slots):
+            record = self.run_slot(self.current_slot, self.now)
+            new.append(record)
+            self.current_slot += 1
+        self.records.extend(new)
+        return new
+
+    def reset_records(self) -> None:
+        self.records.clear()
+
+
+__all__ = ["SlotRecord", "SlottedSimulation"]

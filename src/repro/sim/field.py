@@ -1,0 +1,315 @@
+"""The field-experiment simulator — paper §IV-D, Figs. 9–11.
+
+Replaces the USRP/CC26X2R1 testbed: a hub runs an anti-jamming policy on
+3-second time slots, polls its peripherals with the measured hardware
+latencies, and streams data packets for the rest of each slot while a
+time-domain cross-technology jammer sweeps and camps on its own cadence.
+The output is the paper's headline unit: goodput in packets per time slot.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.dqn import DQNAgent
+from repro.core.envs import StepInfo
+from repro.core.mdp import TJ, J, MDPConfig, State
+from repro.core.metrics import MetricSummary, SlotLog
+from repro.errors import ConfigurationError, SimulationError
+from repro.jamming.jammer import FieldJammer, FieldJammerConfig
+from repro.net.goodput import GoodputModel
+from repro.net.timing import TimingModel
+from repro.rng import SeedLike, derive, make_rng
+from repro.sim.engine import SlottedSimulation
+
+
+class StatePolicyAdapter:
+    """Drive the field network with an MDP-style (stay/hop × power) policy.
+
+    ``hop_channels`` restricts hops to a hop set, the way embedded FH
+    implementations cycle through a configured channel list. A small hop
+    set is what makes a *slow* camping jammer dangerous — the victim keeps
+    hopping back into the stale camped channel (paper Fig. 11(b)).
+    """
+
+    def __init__(
+        self,
+        policy,
+        config: MDPConfig,
+        *,
+        hop_channels: tuple[int, ...] | None = None,
+        seed: SeedLike = None,
+    ) -> None:
+        self.policy = policy
+        self.config = config
+        self._rng = make_rng(seed)
+        if hop_channels is not None:
+            if len(hop_channels) < 2:
+                raise ConfigurationError("a hop set needs at least two channels")
+            if any(not 0 <= c < config.num_channels for c in hop_channels):
+                raise ConfigurationError("hop set channel out of range")
+        self.hop_channels = hop_channels
+        pool = hop_channels or tuple(range(config.num_channels))
+        self.channel = int(pool[int(self._rng.integers(len(pool)))])
+
+    def decide(self, last_state: State) -> tuple[int, int]:
+        action = self.policy.action(last_state)
+        if action.hop:
+            pool = self.hop_channels or tuple(range(self.config.num_channels))
+            others = [c for c in pool if c != self.channel]
+            self.channel = int(others[int(self._rng.integers(len(others)))])
+        return self.channel, action.power_index
+
+    def observe(self, state: State, channel: int, power_index: int) -> None:
+        del state, channel, power_index  # stateless beyond current channel
+
+
+class DQNPolicyAdapter:
+    """Drive the field network with a trained DQN (greedy deployment).
+
+    Maintains the same 3·I history encoding the agent was trained on in
+    :class:`~repro.core.envs.SweepJammingEnv`.
+    """
+
+    def __init__(
+        self, agent: DQNAgent, config: MDPConfig, *, history_length: int = 5,
+        seed: SeedLike = None,
+    ) -> None:
+        if agent.config.observation_size != 3 * history_length:
+            raise ConfigurationError(
+                f"agent expects {agent.config.observation_size} inputs; "
+                f"history length {history_length} provides {3 * history_length}"
+            )
+        expected_actions = config.num_channels * config.num_power_levels
+        if agent.config.num_actions != expected_actions:
+            raise ConfigurationError(
+                f"agent has {agent.config.num_actions} outputs; scenario "
+                f"needs {expected_actions}"
+            )
+        self.agent = agent
+        self.config = config
+        self._rng = make_rng(seed)
+        self.channel = int(self._rng.integers(config.num_channels))
+        self._history: list[tuple[float, float, float]] = [
+            (1.0, self.channel / max(config.num_channels - 1, 1), 0.0)
+        ] * history_length
+
+    def decide(self, last_state: State) -> tuple[int, int]:
+        del last_state  # the DQN reads its own history instead
+        obs = np.array(self._history, dtype=np.float64).reshape(-1)
+        action = self.agent.act(obs, greedy=True)
+        channel, power_index = divmod(action, self.config.num_power_levels)
+        self.channel = int(channel)
+        return self.channel, int(power_index)
+
+    def observe(self, state: State, channel: int, power_index: int) -> None:
+        outcome = 1.0 if state not in (TJ, J) else (0.5 if state == TJ else 0.0)
+        self._history.pop(0)
+        self._history.append(
+            (
+                outcome,
+                channel / max(self.config.num_channels - 1, 1),
+                power_index / max(self.config.num_power_levels - 1, 1),
+            )
+        )
+
+
+@dataclass(frozen=True)
+class FieldConfig:
+    """Parameters of the field experiment."""
+
+    tx_slot_duration_s: float = 3.0
+    mdp: MDPConfig = field(default_factory=MDPConfig)
+    jammer: FieldJammerConfig | None = field(default_factory=FieldJammerConfig)
+    num_peripherals: int = 3
+    timing: TimingModel = field(default_factory=TimingModel)
+    #: A slot counts as jammed (state J) when at least this fraction of it
+    #: was under winning jamming power.
+    jam_state_threshold: float = 0.5
+
+    def __post_init__(self) -> None:
+        if self.tx_slot_duration_s <= 0:
+            raise ConfigurationError("Tx slot duration must be positive")
+        if self.num_peripherals < 1:
+            raise ConfigurationError("need at least one peripheral")
+        if not 0.0 < self.jam_state_threshold <= 1.0:
+            raise ConfigurationError("jam state threshold must be in (0, 1]")
+        if (
+            self.jammer is not None
+            and self.jammer.num_channels != self.mdp.num_channels
+        ):
+            raise ConfigurationError(
+                "jammer and MDP disagree on the number of channels"
+            )
+
+
+@dataclass(frozen=True)
+class FieldSlotRecord:
+    """Per-slot outcome of the field experiment."""
+
+    slot: int
+    channel: int
+    power_index: int
+    state: State
+    packets_delivered: int
+    packets_attempted: int
+    negotiation_s: float
+    utilization: float
+    jammed_fraction: float
+
+
+@dataclass(frozen=True)
+class FieldResult:
+    """Aggregate outcome of a field run."""
+
+    slots: int
+    goodput_pkts_per_slot: float
+    utilization: float
+    metrics: MetricSummary
+    records: tuple[FieldSlotRecord, ...]
+
+
+class FieldExperiment(SlottedSimulation[FieldSlotRecord]):
+    """Run one anti-jamming scheme against the time-domain jammer."""
+
+    def __init__(
+        self,
+        config: FieldConfig,
+        adapter,
+        *,
+        seed: SeedLike = None,
+    ) -> None:
+        super().__init__(config.tx_slot_duration_s, seed=derive(seed, "field"))
+        self.config = config
+        self.adapter = adapter
+        self.goodput = GoodputModel(
+            timing=config.timing, num_nodes=config.num_peripherals
+        )
+        self.jammer = (
+            FieldJammer(config.jammer, seed=derive(seed, "field-jammer"))
+            if config.jammer is not None
+            else None
+        )
+        self._log = SlotLog()
+        self._state: State = 1
+        self._streak = 1
+
+    # -- slot mechanics --------------------------------------------------------
+
+    def run_slot(self, slot_index: int, start_time: float) -> FieldSlotRecord:
+        cfg = self.config
+        previous_channel = self.adapter.channel
+        channel, power_index = self.adapter.decide(self._state)
+        hopped = channel != previous_channel
+        tx_power = cfg.mdp.tx_power_levels[power_index]
+
+        # Announcement: stranded nodes (after a jammed slot) slow it down.
+        stranded_recovery = self._state == J
+        negotiation = cfg.timing.negotiation_time(
+            cfg.num_peripherals,
+            self.rng,
+            include_recovery=stranded_recovery,
+        ) + self.goodput.slot_guard_s
+
+        # The jammer sweeps/camps across this slot's window.
+        jam_fraction = 0.0
+        attempted = False
+        defeated = False
+        old_channel_attacked = False
+        if self.jammer is not None:
+            profile = self.jammer.attack_profile(
+                start_time, start_time + cfg.tx_slot_duration_s, channel
+            )
+            attempted = profile.attempted
+            if attempted:
+                if tx_power >= profile.max_power:
+                    defeated = True
+                else:
+                    jam_fraction = profile.jammed_fraction
+            if hopped:
+                old_channel_attacked = (
+                    previous_channel in self.jammer._active_block
+                )
+
+        # Slot state label.
+        if attempted and not defeated and jam_fraction >= cfg.jam_state_threshold:
+            next_state: State = J
+            self._streak = 0
+        elif attempted:
+            next_state = TJ
+            self._streak = 0
+        else:
+            self._streak = 1 if (hopped or self._state in (TJ, J)) else min(
+                self._streak + 1, cfg.mdp.sweep_cycle - 1
+            )
+            next_state = self._streak
+
+        # Fill the data phase with packets.
+        report = self.goodput.run_slot(
+            cfg.tx_slot_duration_s,
+            success_probability=1.0 - jam_fraction,
+            negotiation_s=min(negotiation, cfg.tx_slot_duration_s),
+            rng=self.rng,
+        )
+
+        success = next_state != J
+        reward = -float(tx_power)
+        if hopped:
+            reward -= cfg.mdp.loss_hop
+        if next_state == J:
+            reward -= cfg.mdp.loss_jam
+        self._log.record(
+            StepInfo(
+                state=next_state,
+                success=success,
+                hopped=hopped,
+                power_index=power_index,
+                power_raised=power_index > 0,
+                jam_attempted=attempted,
+                jam_defeated=attempted and defeated,
+                avoided_jam=hopped and success and old_channel_attacked,
+                reward=reward,
+                channel=channel,
+            )
+        )
+        self.adapter.observe(next_state, channel, power_index)
+        self._state = next_state
+        return FieldSlotRecord(
+            slot=slot_index,
+            channel=channel,
+            power_index=power_index,
+            state=next_state,
+            packets_delivered=report.packets_delivered,
+            packets_attempted=report.packets_attempted,
+            negotiation_s=report.negotiation_s,
+            utilization=report.utilization,
+            jammed_fraction=jam_fraction,
+        )
+
+    # -- public API -----------------------------------------------------------------
+
+    def run_experiment(self, num_slots: int) -> FieldResult:
+        if num_slots < 1:
+            raise SimulationError("must run at least one slot")
+        records = self.run(num_slots)
+        goodput = float(np.mean([r.packets_delivered for r in records]))
+        utilization = float(np.mean([r.utilization for r in records]))
+        return FieldResult(
+            slots=num_slots,
+            goodput_pkts_per_slot=goodput,
+            utilization=utilization,
+            metrics=self._log.summary(),
+            records=tuple(records),
+        )
+
+
+__all__ = [
+    "StatePolicyAdapter",
+    "DQNPolicyAdapter",
+    "FieldConfig",
+    "FieldSlotRecord",
+    "FieldResult",
+    "FieldExperiment",
+]

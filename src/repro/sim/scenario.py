@@ -1,0 +1,82 @@
+"""Canonical scenario configurations.
+
+Paper §IV-D: "We choose L_J = 100, sweep cycle = 4, L_H = 50 and
+L^T_p ∈ [6, 15] as the parameters" for the field experiment. This module
+is the single place those defaults are spelled out, plus factories for the
+three schemes compared in Fig. 11(a).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.baselines import PassiveFHPolicy, RandomFHPolicy
+from repro.core.mdp import AntiJammingMDP, JammerMode, MDPConfig
+from repro.core.policy import policy_from_solution_map
+from repro.core.solver import value_iteration
+from repro.errors import ConfigurationError
+from repro.jamming.jammer import FieldJammerConfig
+from repro.rng import SeedLike
+
+
+@dataclass(frozen=True)
+class PaperDefaults:
+    """The paper's default experiment parameters, bundled."""
+
+    mdp: MDPConfig = field(default_factory=lambda: MDPConfig())
+    tx_slot_duration_s: float = 3.0
+    jammer_slot_duration_s: float = 3.0
+    num_peripherals: int = 3
+    eval_slots: int = 20_000
+
+
+def paper_defaults(jammer_mode: str = JammerMode.MAX) -> PaperDefaults:
+    """The §IV-D parameter set (L_J = 100, cycle 4, L_H = 50, L^T ∈ [6,15])."""
+    return PaperDefaults(mdp=MDPConfig(jammer_mode=jammer_mode))
+
+
+def field_jammer_config(
+    defaults: PaperDefaults, *, slot_duration_s: float | None = None
+) -> FieldJammerConfig:
+    """Field jammer matching a scenario's MDP geometry."""
+    return FieldJammerConfig(
+        slot_duration_s=slot_duration_s or defaults.jammer_slot_duration_s,
+        num_channels=defaults.mdp.num_channels,
+        jam_width=defaults.mdp.jam_width,
+        power_levels=defaults.mdp.jammer_power_levels,
+        mode=defaults.mdp.jammer_mode,
+    )
+
+
+#: The schemes of Fig. 11(a). "rl" is handled separately because it needs a
+#: trained agent; "optimal" is the exact MDP optimum (the value the DQN
+#: approximates).
+SCHEMES = ("psv", "rand", "optimal")
+
+
+def scheme_policy(name: str, config: MDPConfig, *, seed: SeedLike = None):
+    """Build a named baseline policy over ``config``.
+
+    ``psv``     Passive FH — reacts only after sustained jamming.
+    ``rand``    Random FH — random FH/PC every slot.
+    ``optimal`` The exact value-iteration optimum of the MDP.
+    """
+    if name == "psv":
+        return PassiveFHPolicy(config)
+    if name == "rand":
+        return RandomFHPolicy(config, seed=seed)
+    if name == "optimal":
+        solution = value_iteration(AntiJammingMDP(config))
+        return policy_from_solution_map(solution.policy_map())
+    raise ConfigurationError(
+        f"unknown scheme {name!r}; expected one of {SCHEMES} (or train a DQN)"
+    )
+
+
+__all__ = [
+    "PaperDefaults",
+    "paper_defaults",
+    "field_jammer_config",
+    "SCHEMES",
+    "scheme_policy",
+]

@@ -1,0 +1,207 @@
+"""Packet-level micro-testbed: the Fig. 2(b) experiment, frame by frame.
+
+While :mod:`repro.analysis.figures` computes Fig. 2(b) from the analytic
+link budget, this simulator reproduces the *experiment*: a star of ZigBee
+nodes placed in space exchanges real frames through the shared medium
+(CSMA/CA, CCA deferrals, per-frame Bernoulli outcomes from the PER model)
+while a jammer radio transmits bursts of a chosen signal type from a
+configurable distance. Packet error rate and throughput fall out of the
+frame ledger, not a formula.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.channel.link import JammerSignalType
+from repro.channel.medium import ActiveTransmission, Medium
+from repro.channel.propagation import LogDistancePathLoss
+from repro.channel.spectrum import ZIGBEE_CHANNELS
+from repro.constants import WIFI_TX_POWER_DBM, ZIGBEE_TX_POWER_DBM
+from repro.errors import ConfigurationError
+from repro.net.mac import CsmaConfig, CsmaMac
+from repro.phy.zigbee import BIT_RATE
+from repro.rng import SeedLike, derive, make_rng
+
+
+@dataclass(frozen=True)
+class TestbedConfig:
+    """Geometry and traffic of the micro-testbed."""
+
+    __test__ = False  # not a pytest class
+
+    num_peripherals: int = 3
+    link_distance_m: float = 3.0
+    zigbee_channel: int = 15
+    frame_payload_octets: int = 60
+    victim_tx_dbm: float = ZIGBEE_TX_POWER_DBM
+    jammer_tx_dbm: float = WIFI_TX_POWER_DBM
+    jammer_signal: JammerSignalType = JammerSignalType.EMUBEE
+    #: Probability the (reactive) jammer hits a frame in flight. Paper
+    #: §II-C: the jammer "will send EmuBee signals only when the victim is
+    #: using the channel", so it is silent during CCA and strikes the
+    #: transmission itself.
+    jammer_reaction_probability: float = 0.9
+
+    def __post_init__(self) -> None:
+        if self.num_peripherals < 1:
+            raise ConfigurationError("need at least one peripheral")
+        if self.link_distance_m <= 0:
+            raise ConfigurationError("link distance must be positive")
+        if self.zigbee_channel not in ZIGBEE_CHANNELS:
+            raise ConfigurationError(
+                f"zigbee_channel must be in {ZIGBEE_CHANNELS[0]}.."
+                f"{ZIGBEE_CHANNELS[-1]}"
+            )
+        if not 1 <= self.frame_payload_octets <= 114:
+            raise ConfigurationError("frame payload must be 1..114 octets")
+        if not 0.0 <= self.jammer_reaction_probability <= 1.0:
+            raise ConfigurationError("reaction probability must be in [0, 1]")
+
+    @property
+    def frame_airtime_s(self) -> float:
+        """Air time of one full PPDU (6 framing octets + payload + FCS)."""
+        octets = 6 + self.frame_payload_octets + 2
+        return octets * 8 / BIT_RATE
+
+
+@dataclass
+class WindowStats:
+    """Ledger of one measurement window."""
+
+    attempts: int = 0
+    delivered: int = 0
+    cca_blocked: int = 0
+    air_time_s: float = 0.0
+    payload_bits: int = 0
+
+    @property
+    def packet_error_rate(self) -> float:
+        if self.attempts == 0:
+            return 0.0
+        return 1.0 - self.delivered / self.attempts
+
+    @property
+    def throughput_kbps(self) -> float:
+        if self.air_time_s <= 0:
+            return 0.0
+        return self.delivered * self.payload_bits / self.air_time_s / 1e3
+
+
+class Testbed:
+    """Star network + jammer on the shared medium."""
+
+    __test__ = False  # "Test" prefix is domain language, not a pytest class
+
+    JAMMER_ID = "jammer"
+    HUB_ID = "hub"
+
+    def __init__(self, config: TestbedConfig | None = None, *, seed: SeedLike = None) -> None:
+        self.config = config or TestbedConfig()
+        self._rng = make_rng(derive(seed, "testbed"))
+        self.medium = Medium(
+            propagation=LogDistancePathLoss(shadowing_sigma_db=3.0),
+            seed=derive(seed, "testbed-medium"),
+        )
+        cfg = self.config
+        self.medium.place(self.HUB_ID, 0.0, 0.0)
+        self.node_ids: list[str] = []
+        for i in range(cfg.num_peripherals):
+            angle = 2 * math.pi * i / cfg.num_peripherals
+            node_id = f"node{i + 1}"
+            self.medium.place(
+                node_id,
+                cfg.link_distance_m * math.cos(angle),
+                cfg.link_distance_m * math.sin(angle),
+            )
+            self.node_ids.append(node_id)
+        self._macs = {
+            node_id: CsmaMac(CsmaConfig(), seed=derive(seed, f"mac-{node_id}"))
+            for node_id in self.node_ids
+        }
+        self.jammer_distance_m = 10.0
+        self.medium.place(self.JAMMER_ID, 0.0, self.jammer_distance_m)
+
+    def set_jammer_distance(self, distance_m: float) -> None:
+        if distance_m <= 0:
+            raise ConfigurationError("jammer distance must be positive")
+        self.jammer_distance_m = float(distance_m)
+        self.medium.place(self.JAMMER_ID, 0.0, distance_m)
+
+    # -- frame exchange ---------------------------------------------------------
+
+    def _jammer_transmission(self) -> list[ActiveTransmission]:
+        return [
+            ActiveTransmission(
+                self.JAMMER_ID,
+                self.config.zigbee_channel,
+                self.config.jammer_tx_dbm,
+                signal_type=self.config.jammer_signal,
+            )
+        ]
+
+    def send_frame(self, node_id: str) -> tuple[bool, float]:
+        """One CSMA/CA frame from ``node_id`` to the hub."""
+        cfg = self.config
+        mac = self._macs[node_id]
+
+        def channel_busy() -> bool:
+            # The reactive jammer is silent while listening for the victim,
+            # so CCA only ever senses peer traffic (none in this sequential
+            # exchange) — exactly why the paper calls the attack stealthy.
+            return self.medium.channel_busy(node_id, cfg.zigbee_channel, [])
+
+        def transmit() -> bool:
+            active = (
+                self._jammer_transmission()
+                if self._rng.random() < cfg.jammer_reaction_probability
+                else []
+            )
+            ok, _ = self.medium.frame_outcome(
+                node_id,
+                self.HUB_ID,
+                zigbee_channel=cfg.zigbee_channel,
+                tx_power_dbm=cfg.victim_tx_dbm,
+                packet_octets=cfg.frame_payload_octets + 8,
+                active=active,
+            )
+            return ok
+
+        return mac.send(channel_busy, transmit, cfg.frame_airtime_s)
+
+    def run_window(self, frames_per_node: int) -> WindowStats:
+        """Every peripheral offers ``frames_per_node`` frames to the hub."""
+        if frames_per_node < 1:
+            raise ConfigurationError("need at least one frame per node")
+        cfg = self.config
+        stats = WindowStats(payload_bits=cfg.frame_payload_octets * 8)
+        for node_id in self.node_ids:
+            before = self._macs[node_id].stats.channel_access_failures
+            for _ in range(frames_per_node):
+                delivered, elapsed = self.send_frame(node_id)
+                stats.attempts += 1
+                stats.delivered += delivered
+                stats.air_time_s += elapsed
+            stats.cca_blocked += (
+                self._macs[node_id].stats.channel_access_failures - before
+            )
+        return stats
+
+    # -- the Fig. 2(b) experiment ---------------------------------------------
+
+    def distance_sweep(
+        self, distances, *, frames_per_node: int = 30
+    ) -> list[tuple[float, float, float]]:
+        """(distance, PER %, throughput kbps) for each jammer distance."""
+        rows = []
+        for d in distances:
+            self.set_jammer_distance(float(d))
+            stats = self.run_window(frames_per_node)
+            rows.append(
+                (float(d), 100.0 * stats.packet_error_rate, stats.throughput_kbps)
+            )
+        return rows
+
+
+__all__ = ["TestbedConfig", "WindowStats", "Testbed"]

@@ -1,0 +1,102 @@
+"""Tests for statistics helpers and table rendering."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.stats import (
+    bernoulli_interval,
+    mean_confidence_interval,
+    summarize,
+)
+from repro.analysis.tables import format_float, render_table
+from repro.errors import SimulationError
+
+
+class TestSummarize:
+    def test_basic(self):
+        s = summarize([1.0, 2.0, 3.0])
+        assert s.n == 3
+        assert s.mean == 2.0
+        assert s.minimum == 1.0 and s.maximum == 3.0
+
+    def test_single_sample_std_zero(self):
+        assert summarize([5.0]).std == 0.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(SimulationError):
+            summarize([])
+
+    def test_as_dict(self):
+        d = summarize([1.0, 2.0]).as_dict()
+        assert set(d) == {"n", "mean", "std", "min", "max"}
+
+
+class TestConfidenceIntervals:
+    def test_interval_contains_mean(self):
+        rng = np.random.default_rng(0)
+        samples = rng.normal(10.0, 2.0, 200)
+        mean, lo, hi = mean_confidence_interval(samples)
+        assert lo < mean < hi
+        assert lo < 10.0 < hi
+
+    def test_tighter_with_more_samples(self):
+        rng = np.random.default_rng(1)
+        small = rng.normal(0, 1, 10)
+        large = rng.normal(0, 1, 1000)
+        _, lo_s, hi_s = mean_confidence_interval(small)
+        _, lo_l, hi_l = mean_confidence_interval(large)
+        assert (hi_l - lo_l) < (hi_s - lo_s)
+
+    def test_degenerate_sample(self):
+        mean, lo, hi = mean_confidence_interval([3.0, 3.0, 3.0])
+        assert mean == lo == hi == 3.0
+
+    def test_validation(self):
+        with pytest.raises(SimulationError):
+            mean_confidence_interval([1.0])
+        with pytest.raises(SimulationError):
+            mean_confidence_interval([1.0, 2.0], confidence=1.5)
+
+    def test_wilson_interval(self):
+        p, lo, hi = bernoulli_interval(50, 100)
+        assert lo < p == 0.5 < hi
+        assert 0.0 <= lo and hi <= 1.0
+
+    def test_wilson_extremes(self):
+        p, lo, hi = bernoulli_interval(0, 50)
+        assert p == 0.0 and lo == pytest.approx(0.0, abs=1e-12) and hi > 0.0
+        with pytest.raises(SimulationError):
+            bernoulli_interval(5, 0)
+        with pytest.raises(SimulationError):
+            bernoulli_interval(5, 4)
+
+
+class TestTables:
+    def test_render_basic(self):
+        text = render_table(["a", "b"], [[1, 2.5], [3, 4.0]])
+        lines = text.splitlines()
+        assert "a" in lines[0] and "b" in lines[0]
+        assert "2.500" in text
+
+    def test_title(self):
+        text = render_table(["x"], [[1]], title="My Table")
+        assert text.splitlines()[0] == "My Table"
+
+    def test_row_width_mismatch(self):
+        with pytest.raises(SimulationError):
+            render_table(["a", "b"], [[1]])
+
+    def test_no_headers(self):
+        with pytest.raises(SimulationError):
+            render_table([], [])
+
+    def test_empty_rows_ok(self):
+        text = render_table(["only", "headers"], [])
+        assert "only" in text
+
+    def test_format_float(self):
+        assert format_float(1.23456, 2) == "1.23"
+        assert format_float(7) == "7"
+        assert format_float("x") == "x"
+        assert format_float(float("nan")) == "nan"
+        assert format_float(True) == "True"

@@ -1,0 +1,158 @@
+"""Tests for the link-level error models, including the Fig. 2(b) ordering."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.channel import link as L
+from repro.constants import WIFI_TX_POWER_DBM, ZIGBEE_TX_POWER_DBM
+from repro.errors import ChannelError
+
+
+class TestBerCurve:
+    def test_high_snr_error_free(self):
+        assert L.zigbee_ber_awgn(10.0) < 1e-12
+
+    def test_zero_snr_is_half(self):
+        assert L.zigbee_ber_awgn(0.0) == pytest.approx(0.5, abs=0.01)
+
+    def test_monotone_decreasing(self):
+        values = [L.zigbee_ber_awgn(s) for s in (0.0, 0.1, 0.3, 0.5, 1.0, 2.0)]
+        assert values == sorted(values, reverse=True)
+
+    def test_negative_snr_rejected(self):
+        with pytest.raises(ChannelError):
+            L.zigbee_ber_awgn(-0.1)
+
+    def test_bounded(self):
+        for s in (0.0, 0.01, 0.5, 5.0):
+            assert 0.0 <= L.zigbee_ber_awgn(s) <= 0.5
+
+
+class TestChipCapture:
+    def test_dominant_jammer_saturates_at_half(self):
+        assert L.chip_flip_probability(40.0) == pytest.approx(0.5, abs=1e-6)
+
+    def test_dominant_victim_no_flips(self):
+        assert L.chip_flip_probability(-40.0) == pytest.approx(0.0, abs=1e-6)
+
+    def test_equal_power_quarter(self):
+        assert L.chip_flip_probability(0.0) == pytest.approx(0.25)
+
+    @given(st.floats(min_value=-30, max_value=30))
+    @settings(max_examples=30)
+    def test_monotone(self, margin):
+        assert L.chip_flip_probability(margin + 1.0) > L.chip_flip_probability(margin)
+
+    def test_bad_slope(self):
+        with pytest.raises(ChannelError):
+            L.chip_flip_probability(0.0, slope_db=0.0)
+
+    def test_symbol_error_endpoints(self):
+        assert L.symbol_error_from_chip_flips(0.0) == 0.0
+        assert L.symbol_error_from_chip_flips(0.5) > 0.99
+
+    def test_symbol_error_validates(self):
+        with pytest.raises(ChannelError):
+            L.symbol_error_from_chip_flips(0.9)
+
+    def test_per_accumulates_over_length(self):
+        se = 0.01
+        assert L.packet_error_rate(se, 10) < L.packet_error_rate(se, 100)
+
+    def test_per_validates(self):
+        with pytest.raises(ChannelError):
+            L.packet_error_rate(0.1, 0)
+
+
+class TestEffectiveInterference:
+    def setup_method(self):
+        self.budget = L.LinkBudget()
+
+    def test_wifi_pays_band_and_dsss(self):
+        itf = L.Interferer(0.0, L.JammerSignalType.WIFI)
+        eff = self.budget.effective_interference_dbm(itf)
+        assert eff == pytest.approx(0.0 - 10.0 - self.budget.dsss_gain_db)
+
+    def test_zigbee_full_power(self):
+        itf = L.Interferer(0.0, L.JammerSignalType.ZIGBEE)
+        assert self.budget.effective_interference_dbm(itf) == 0.0
+
+    def test_emubee_pays_fraction_and_fidelity(self):
+        itf = L.Interferer(0.0, L.JammerSignalType.EMUBEE)
+        eff = self.budget.effective_interference_dbm(itf)
+        assert eff == pytest.approx(
+            10.0 * __import__("math").log10(self.budget.emubee_inband_fraction)
+            - self.budget.emulation_loss_db
+        )
+
+    def test_off_channel_zigbee_ignored(self):
+        itf = L.Interferer(0.0, L.JammerSignalType.ZIGBEE, center_offset_mhz=5.0)
+        assert self.budget.effective_interference_dbm(itf) == float("-inf")
+
+    def test_far_off_channel_wifi_ignored(self):
+        itf = L.Interferer(0.0, L.JammerSignalType.WIFI, center_offset_mhz=30.0)
+        assert self.budget.effective_interference_dbm(itf) == float("-inf")
+
+    def test_partially_overlapping_wifi_weaker(self):
+        on = L.Interferer(0.0, L.JammerSignalType.WIFI, center_offset_mhz=0.0)
+        edge = L.Interferer(0.0, L.JammerSignalType.WIFI, center_offset_mhz=10.0)
+        assert self.budget.effective_interference_dbm(
+            edge
+        ) < self.budget.effective_interference_dbm(on)
+
+
+class TestFig2bOrdering:
+    """The paper's jamming-effect ranking: EmuBee > ZigBee > Wi-Fi."""
+
+    def setup_method(self):
+        self.budget = L.LinkBudget()
+        self.kw = dict(
+            link_distance_m=3.0,
+            victim_tx_dbm=ZIGBEE_TX_POWER_DBM,
+            packet_octets=60,
+        )
+
+    def per(self, signal_type, d, jammer_tx):
+        return self.budget.jamming_per(
+            jammer_distance_m=d,
+            signal_type=signal_type,
+            jammer_tx_dbm=jammer_tx,
+            **self.kw,
+        )
+
+    def test_all_jammers_lethal_point_blank(self):
+        for st_, p in (
+            (L.JammerSignalType.EMUBEE, WIFI_TX_POWER_DBM),
+            (L.JammerSignalType.WIFI, WIFI_TX_POWER_DBM),
+            (L.JammerSignalType.ZIGBEE, ZIGBEE_TX_POWER_DBM),
+        ):
+            assert self.per(st_, 1.0, p) > 0.95
+
+    def test_per_decreases_with_distance(self):
+        for st_, p in (
+            (L.JammerSignalType.EMUBEE, WIFI_TX_POWER_DBM),
+            (L.JammerSignalType.WIFI, WIFI_TX_POWER_DBM),
+            (L.JammerSignalType.ZIGBEE, ZIGBEE_TX_POWER_DBM),
+        ):
+            pers = [self.per(st_, d, p) for d in (1, 3, 6, 10, 15, 30)]
+            assert all(a >= b - 1e-9 for a, b in zip(pers, pers[1:])), (st_, pers)
+
+    def test_ranking_at_long_range(self):
+        # Paper: "This superiority is more significant when the jamming
+        # distance is long (>= 10m)".
+        for d in (8.0, 10.0, 12.0):
+            emu = self.per(L.JammerSignalType.EMUBEE, d, WIFI_TX_POWER_DBM)
+            zig = self.per(L.JammerSignalType.ZIGBEE, d, ZIGBEE_TX_POWER_DBM)
+            wifi = self.per(L.JammerSignalType.WIFI, d, WIFI_TX_POWER_DBM)
+            assert emu > zig >= wifi, (d, emu, zig, wifi)
+
+    def test_emubee_effective_at_10m(self):
+        assert self.per(L.JammerSignalType.EMUBEE, 10.0, WIFI_TX_POWER_DBM) > 0.5
+
+    def test_wifi_ineffective_at_10m(self):
+        assert self.per(L.JammerSignalType.WIFI, 10.0, WIFI_TX_POWER_DBM) < 0.3
+
+    def test_no_jammer_baseline_clean(self):
+        signal = self.budget.propagation.received_power_dbm(0.0, 3.0)
+        assert self.budget.packet_error_rate(signal, 60) < 1e-6

@@ -1,0 +1,89 @@
+"""Tests for the command-line interface."""
+
+import numpy as np
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_solve_defaults(self):
+        args = build_parser().parse_args(["solve"])
+        assert args.loss_jam == 100.0
+        assert args.jammer_mode == "max"
+
+    def test_bad_jammer_mode(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["solve", "--jammer-mode", "sneaky"])
+
+    def test_figure_choices(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["figure", "99"])
+
+
+class TestSolveCommand:
+    def test_prints_policy(self, capsys):
+        assert main(["solve"]) == 0
+        out = capsys.readouterr().out
+        assert "hop threshold" in out
+        assert "V*(x)" in out
+        for state in ("1", "2", "3", "TJ", "J"):
+            assert state in out
+
+    def test_random_mode(self, capsys):
+        assert main(["solve", "--jammer-mode", "random"]) == 0
+        assert "mode=random" in capsys.readouterr().out
+
+
+class TestFigureCommand:
+    def test_fig10(self, capsys):
+        assert main(["figure", "10"]) == 0
+        out = capsys.readouterr().out
+        assert "goodput" in out
+        assert "Fig. 10" in out
+
+    def test_fig2b(self, capsys):
+        assert main(["figure", "2b"]) == 0
+        out = capsys.readouterr().out
+        assert "PER EmuBee" in out
+
+    def test_fig9a(self, capsys):
+        assert main(["figure", "9a"]) == 0
+        out = capsys.readouterr().out
+        assert "DQN" in out and "Polling" in out
+
+    def test_fig11b_small(self, capsys):
+        assert main(["figure", "11b", "--slots", "30"]) == 0
+        assert "Jx slot" in capsys.readouterr().out
+
+
+class TestEmulateCommand:
+    def test_emulates_hex(self, capsys):
+        assert main(["emulate", "deadbeef"]) == 0
+        out = capsys.readouterr().out
+        assert "optimal alpha" in out
+        assert "chip error rate" in out
+
+
+class TestTrainCommand:
+    def test_trains_and_saves(self, capsys, tmp_path):
+        path = tmp_path / "weights.npz"
+        code = main(
+            [
+                "train",
+                "--episodes", "3",
+                "--steps", "60",
+                "--eval-slots", "300",
+                "--save", str(path),
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "S_T" in out
+        assert path.exists()
+        with np.load(path) as data:
+            assert data["flat"].size == 10_960

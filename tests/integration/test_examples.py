@@ -1,0 +1,51 @@
+"""Smoke tests running the example scripts as real subprocesses."""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parents[2] / "examples"
+
+
+def run_example(name: str, *args: str, timeout: int = 300) -> str:
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES / name), *args],
+        capture_output=True,
+        text=True,
+        timeout=timeout,
+    )
+    assert result.returncode == 0, result.stderr[-2000:]
+    return result.stdout
+
+
+class TestExamples:
+    def test_mdp_analysis(self):
+        out = run_example("mdp_analysis.py")
+        assert "All structural results verified numerically." in out
+        assert "Banach" in out
+
+    def test_emubee_attack(self):
+        out = run_example("emubee_attack.py")
+        assert "byte-level agreement  : 100%" in out
+        assert "EmuBee 0%" in out  # stealthy
+        assert "Wi-Fi noise 100%" in out  # obvious
+
+    def test_smart_warehouse(self):
+        out = run_example("smart_warehouse.py", "--slots", "80")
+        assert "Warehouse cell vs max-power EmuBee jammer" in out
+        assert "Warehouse cell vs random-power EmuBee jammer" in out
+        assert "hybrid FH+PC (optimal)" in out
+
+    def test_adaptive_arms_race(self):
+        out = run_example("adaptive_arms_race.py", "--slots", "2500")
+        assert "Arms race" in out
+        assert "Energy bill" in out
+
+    @pytest.mark.slow
+    def test_quickstart_fast(self):
+        out = run_example("quickstart.py", "--fast", timeout=400)
+        assert "Optimal policy (value iteration)" in out
+        assert "Table-I metrics" in out
+        assert "DQN (RL FH)" in out

@@ -1,0 +1,94 @@
+"""Tests for the CSMA/CA MAC."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.net.mac import BACKOFF_UNIT_S, CsmaConfig, CsmaMac
+
+
+def always_idle():
+    return False
+
+
+def always_busy():
+    return True
+
+
+class TestConfig:
+    def test_defaults_valid(self):
+        cfg = CsmaConfig()
+        assert cfg.min_backoff_exponent <= cfg.max_backoff_exponent
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            CsmaConfig(min_backoff_exponent=6, max_backoff_exponent=5)
+        with pytest.raises(ConfigurationError):
+            CsmaConfig(max_backoffs=-1)
+        with pytest.raises(ConfigurationError):
+            CsmaConfig(ack_timeout_s=0.0)
+
+
+class TestSend:
+    def test_clean_delivery(self):
+        mac = CsmaMac(seed=0)
+        ok, elapsed = mac.send(always_idle, lambda: True, frame_airtime_s=1e-3)
+        assert ok
+        assert elapsed >= 1e-3
+        assert mac.stats.delivered == 1
+        assert mac.stats.delivery_ratio == 1.0
+
+    def test_busy_channel_fails_access(self):
+        mac = CsmaMac(seed=1)
+        ok, elapsed = mac.send(always_busy, lambda: True, frame_airtime_s=1e-3)
+        assert not ok
+        assert mac.stats.channel_access_failures == 1
+        # All backoffs were spent waiting.
+        assert elapsed > 0
+
+    def test_failed_acks_exhaust_retries(self):
+        mac = CsmaMac(CsmaConfig(max_retries=2), seed=2)
+        ok, elapsed = mac.send(always_idle, lambda: False, frame_airtime_s=1e-3)
+        assert not ok
+        assert mac.stats.retry_exhaustions == 1
+        # 3 attempts: each transmits and waits the full ACK timeout.
+        assert elapsed >= 3 * (1e-3 + CsmaConfig().ack_timeout_s)
+
+    def test_recovery_after_transient_failure(self):
+        mac = CsmaMac(seed=3)
+        outcomes = iter([False, True])
+        ok, _ = mac.send(always_idle, lambda: next(outcomes), frame_airtime_s=1e-3)
+        assert ok
+
+    def test_backoff_grows_with_contention(self):
+        # With a channel busy for the first n checks, elapsed time grows.
+        def run(busy_checks):
+            mac = CsmaMac(seed=4)
+            state = {"n": busy_checks}
+
+            def channel_busy():
+                if state["n"] > 0:
+                    state["n"] -= 1
+                    return True
+                return False
+
+            ok, elapsed = mac.send(channel_busy, lambda: True, frame_airtime_s=1e-3)
+            return ok, elapsed
+
+        ok0, t0 = run(0)
+        ok3, t3 = run(3)
+        assert ok0 and ok3
+        assert t3 >= t0
+
+    def test_airtime_validation(self):
+        with pytest.raises(ConfigurationError):
+            CsmaMac().send(always_idle, lambda: True, frame_airtime_s=0.0)
+
+    def test_busy_time_accumulates(self):
+        mac = CsmaMac(seed=5)
+        for _ in range(5):
+            mac.send(always_idle, lambda: True, frame_airtime_s=1e-3)
+        assert mac.stats.busy_time_s >= 5e-3
+        assert mac.stats.attempts == 5
+
+    def test_backoff_unit_is_802154(self):
+        assert BACKOFF_UNIT_S == pytest.approx(320e-6)

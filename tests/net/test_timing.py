@@ -1,0 +1,72 @@
+"""Tests for the hardware timing model (Fig. 9 calibration)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.net.timing import TimingModel
+
+
+class TestLatencies:
+    def setup_method(self):
+        self.t = TimingModel()
+        self.rng = np.random.default_rng(0)
+
+    def test_means_match_paper(self):
+        # Paper Fig. 9(a): DQN 9 ms, ACK RTT 0.9 ms, processing 0.6 ms,
+        # polling 13.1 ms per node.
+        n = 4000
+        assert self.t.dqn_inference(self.rng, n).mean() == pytest.approx(9e-3, rel=0.05)
+        assert self.t.round_trip(self.rng, n).mean() == pytest.approx(0.9e-3, rel=0.05)
+        assert self.t.processing(self.rng, n).mean() == pytest.approx(0.6e-3, rel=0.05)
+        assert self.t.polling(self.rng, n).mean() == pytest.approx(13.1e-3, rel=0.05)
+
+    def test_all_samples_positive(self):
+        for fn in (self.t.dqn_inference, self.t.round_trip, self.t.processing, self.t.polling):
+            assert (fn(self.rng, 500) > 0).all()
+
+    def test_jitter_present(self):
+        samples = self.t.dqn_inference(self.rng, 200)
+        assert samples.std() > 0
+
+    def test_packet_service_time_calibration(self):
+        # ~6.1 ms/packet yields the paper's 148..806 pkts/slot (Fig. 10).
+        samples = [self.t.packet_service_time(self.rng) for _ in range(2000)]
+        assert np.mean(samples) == pytest.approx(6.1e-3, rel=0.05)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            TimingModel(dqn_inference_mean_s=0.0)
+        with pytest.raises(ConfigurationError):
+            TimingModel(jitter_cv=0.0)
+        with pytest.raises(ConfigurationError):
+            TimingModel(off_channel_probability=1.5)
+
+
+class TestNegotiation:
+    def test_grows_with_network_size(self):
+        t = TimingModel()
+        rng = np.random.default_rng(1)
+        small = np.mean([t.negotiation_time(1, rng) for _ in range(300)])
+        large = np.mean([t.negotiation_time(10, rng) for _ in range(300)])
+        assert large > small * 3
+
+    def test_no_recovery_is_fast(self):
+        # Typical per-slot announcement: DQN + polling only, ~0.05 s for a
+        # 3-node network.
+        t = TimingModel()
+        rng = np.random.default_rng(2)
+        samples = [
+            t.negotiation_time(3, rng, include_recovery=False) for _ in range(300)
+        ]
+        assert np.mean(samples) == pytest.approx(9e-3 + 3 * 13.1e-3, rel=0.1)
+
+    def test_recovery_tail_reaches_seconds(self):
+        t = TimingModel()
+        rng = np.random.default_rng(3)
+        samples = [t.negotiation_time(10, rng) for _ in range(300)]
+        assert max(samples) > 2.0
+
+    def test_needs_a_node(self):
+        with pytest.raises(ConfigurationError):
+            TimingModel().negotiation_time(0)

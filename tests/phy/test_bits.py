@@ -1,0 +1,145 @@
+"""Unit and property tests for repro.phy.bits."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import EncodingError
+from repro.phy import bits as B
+
+
+class TestAsBits:
+    def test_accepts_list(self):
+        out = B.as_bits([0, 1, 1, 0])
+        assert out.dtype == np.uint8
+        assert out.tolist() == [0, 1, 1, 0]
+
+    def test_rejects_non_binary(self):
+        with pytest.raises(EncodingError):
+            B.as_bits([0, 2])
+
+    def test_empty(self):
+        assert B.as_bits([]).size == 0
+
+    def test_flattens(self):
+        assert B.as_bits([[0, 1], [1, 0]]).shape == (4,)
+
+
+class TestBytesBits:
+    def test_known_value_lsb(self):
+        # 0x01 -> LSB first: 1 0 0 0 0 0 0 0
+        assert B.bytes_to_bits(b"\x01").tolist() == [1, 0, 0, 0, 0, 0, 0, 0]
+
+    def test_known_value_msb(self):
+        assert B.bytes_to_bits(b"\x80", lsb_first=False).tolist() == [
+            1, 0, 0, 0, 0, 0, 0, 0,
+        ]
+
+    def test_empty(self):
+        assert B.bytes_to_bits(b"").size == 0
+        assert B.bits_to_bytes([]) == b""
+
+    def test_non_octet_length_rejected(self):
+        with pytest.raises(EncodingError):
+            B.bits_to_bytes([1, 0, 1])
+
+    @given(st.binary(max_size=64))
+    def test_roundtrip_lsb(self, data):
+        assert B.bits_to_bytes(B.bytes_to_bits(data)) == data
+
+    @given(st.binary(max_size=64))
+    def test_roundtrip_msb(self, data):
+        bits = B.bytes_to_bits(data, lsb_first=False)
+        assert B.bits_to_bytes(bits, lsb_first=False) == data
+
+
+class TestIntBits:
+    @given(st.integers(min_value=0, max_value=2**16 - 1))
+    def test_roundtrip(self, value):
+        bits = B.int_to_bits(value, 16)
+        assert bits.size == 16
+        assert B.bits_to_int(bits) == value
+
+    def test_msb_order(self):
+        assert B.int_to_bits(1, 4, lsb_first=False).tolist() == [0, 0, 0, 1]
+        assert B.bits_to_int([0, 0, 0, 1], lsb_first=False) == 1
+
+    def test_overflow_rejected(self):
+        with pytest.raises(EncodingError):
+            B.int_to_bits(16, 4)
+
+    def test_negative_rejected(self):
+        with pytest.raises(EncodingError):
+            B.int_to_bits(-1, 4)
+
+    def test_zero_width_rejected(self):
+        with pytest.raises(EncodingError):
+            B.int_to_bits(0, 0)
+
+
+class TestHamming:
+    def test_distance(self):
+        assert B.hamming_distance([0, 1, 1], [1, 1, 0]) == 2
+
+    def test_ber(self):
+        assert B.bit_error_rate([0, 0, 0, 0], [0, 1, 0, 1]) == 0.5
+
+    def test_ber_empty(self):
+        assert B.bit_error_rate([], []) == 0.0
+
+    def test_length_mismatch(self):
+        with pytest.raises(EncodingError):
+            B.hamming_distance([0], [0, 1])
+
+    @given(st.lists(st.integers(0, 1), min_size=1, max_size=100))
+    def test_self_distance_zero(self, bits):
+        assert B.hamming_distance(bits, bits) == 0
+
+
+class TestCrc:
+    def test_known_vector(self):
+        # CRC-16/X25-family reflected CRC with init 0: '123456789' -> 0x2189
+        # is the CRC-16/KERMIT check value, which is this polynomial/config.
+        assert B.crc16_itut(b"123456789") == 0x2189
+
+    def test_empty(self):
+        assert B.crc16_itut(b"") == 0
+
+    @given(st.binary(min_size=1, max_size=64))
+    def test_append_check_roundtrip(self, data):
+        assert B.check_crc(B.append_crc(data))
+
+    @given(st.binary(min_size=1, max_size=32), st.integers(0, 255))
+    def test_corruption_detected(self, data, flip):
+        framed = bytearray(B.append_crc(data))
+        pos = flip % len(framed)
+        bit = 1 << (flip % 8)
+        framed[pos] ^= bit
+        assert not B.check_crc(bytes(framed))
+
+    def test_too_short(self):
+        assert not B.check_crc(b"\x00")
+
+
+class TestFlipBits:
+    def test_zero_rate_is_identity(self):
+        rng = np.random.default_rng(0)
+        bits = B.bytes_to_bits(b"\xaa\x55")
+        assert np.array_equal(B.flip_bits(bits, 0.0, rng), bits)
+
+    def test_full_rate_flips_all(self):
+        rng = np.random.default_rng(0)
+        bits = np.zeros(64, dtype=np.uint8)
+        assert B.flip_bits(bits, 1.0, rng).sum() == 64
+
+    def test_invalid_rate(self):
+        rng = np.random.default_rng(0)
+        with pytest.raises(ValueError):
+            B.flip_bits([0, 1], 1.5, rng)
+
+    def test_does_not_mutate_input(self):
+        rng = np.random.default_rng(0)
+        bits = np.zeros(32, dtype=np.uint8)
+        B.flip_bits(bits, 1.0, rng)
+        assert bits.sum() == 0

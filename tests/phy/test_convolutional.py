@@ -1,0 +1,137 @@
+"""Tests for the K=7 convolutional code and Viterbi decoder."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import DecodingError, EncodingError
+from repro.phy import convolutional as C
+
+bit_lists = st.lists(st.integers(0, 1), min_size=1, max_size=120)
+
+
+class TestEncoder:
+    def test_rate_is_half(self):
+        assert C.conv_encode([1, 0, 1, 1]).size == 8
+
+    def test_zero_input_gives_zero_output(self):
+        assert C.conv_encode(np.zeros(20, dtype=np.uint8)).sum() == 0
+
+    def test_known_impulse_response(self):
+        # A single 1 followed by zeros emits the generator taps.
+        coded = C.conv_encode([1, 0, 0, 0, 0, 0, 0])
+        # g0 = 133 octal = 1011011, g1 = 171 octal = 1111001 (MSB = newest bit)
+        a_stream = coded[0::2].tolist()
+        b_stream = coded[1::2].tolist()
+        assert a_stream == [1, 0, 1, 1, 0, 1, 1]
+        assert b_stream == [1, 1, 1, 1, 0, 0, 1]
+
+    def test_linearity(self):
+        rng = np.random.default_rng(1)
+        x = rng.integers(0, 2, 40).astype(np.uint8)
+        y = rng.integers(0, 2, 40).astype(np.uint8)
+        assert np.array_equal(
+            C.conv_encode(x ^ y), C.conv_encode(x) ^ C.conv_encode(y)
+        )
+
+
+class TestPuncturing:
+    def test_rate_23_length(self):
+        coded = C.conv_encode(np.zeros(12, dtype=np.uint8))
+        assert C.puncture(coded, "2/3").size == 18  # 24 bits -> 3/4 kept
+
+    def test_rate_34_length(self):
+        coded = C.conv_encode(np.zeros(12, dtype=np.uint8))
+        assert C.puncture(coded, "3/4").size == 16  # 24 bits -> 2/3 kept
+
+    def test_unknown_rate(self):
+        with pytest.raises(EncodingError):
+            C.puncture([0, 0], "5/6")
+
+    def test_odd_length_rejected(self):
+        with pytest.raises(EncodingError):
+            C.puncture([0, 0, 0], "2/3")
+
+    @pytest.mark.parametrize("rate", ["2/3", "3/4"])
+    def test_depuncture_inverts_positions(self, rate):
+        rng = np.random.default_rng(2)
+        msg = rng.integers(0, 2, 36).astype(np.uint8)
+        coded = C.conv_encode(msg)
+        punct = C.puncture(coded, rate)
+        full, mask = C.depuncture(punct, rate)
+        assert full.size == coded.size
+        assert np.array_equal(full[mask], coded[mask])
+
+    def test_depuncture_bad_length(self):
+        with pytest.raises(DecodingError):
+            C.depuncture([0, 0, 0, 0, 0], "3/4")
+
+
+class TestViterbi:
+    @given(bit_lists)
+    @settings(max_examples=40, deadline=None)
+    def test_noiseless_roundtrip(self, msg):
+        coded = C.conv_encode(msg)
+        decoded = C.viterbi_decode(coded)
+        assert decoded.tolist() == msg
+
+    @pytest.mark.parametrize("rate", ["1/2", "2/3", "3/4"])
+    def test_noiseless_roundtrip_all_rates(self, rate):
+        rng = np.random.default_rng(3)
+        msg = rng.integers(0, 2, 120).astype(np.uint8)
+        coded = C.encode_with_rate(msg, rate)
+        decoded = C.decode_with_rate(coded, rate)
+        assert np.array_equal(decoded, msg)
+
+    def test_corrects_scattered_errors(self):
+        rng = np.random.default_rng(4)
+        msg = rng.integers(0, 2, 200).astype(np.uint8)
+        # Terminate the trellis with six tail zeros.
+        coded = C.conv_encode(np.concatenate([msg, np.zeros(6, np.uint8)]))
+        corrupted = coded.copy()
+        # Flip well-separated bits (beyond the traceback correlation length).
+        for pos in range(0, coded.size, 40):
+            corrupted[pos] ^= 1
+        decoded = C.viterbi_decode(corrupted, terminated=True)
+        assert np.array_equal(decoded[:200], msg)
+
+    def test_free_distance_burst_not_necessarily_corrected(self):
+        # Ten adjacent flips exceed d_free/2; decoding may differ — but the
+        # decoder must still return a valid-length answer without raising.
+        msg = np.zeros(50, dtype=np.uint8)
+        coded = C.conv_encode(msg)
+        coded[10:20] ^= 1
+        decoded = C.viterbi_decode(coded)
+        assert decoded.size == 50
+
+    def test_odd_length_rejected(self):
+        with pytest.raises(DecodingError):
+            C.viterbi_decode([0, 1, 0])
+
+    def test_mask_length_mismatch(self):
+        with pytest.raises(DecodingError):
+            C.viterbi_decode([0, 1], known_mask=np.ones(4, dtype=bool))
+
+    def test_terminated_decoding_prefers_zero_state(self):
+        msg = np.concatenate(
+            [np.ones(20, np.uint8), np.zeros(6, np.uint8)]  # tail
+        )
+        coded = C.conv_encode(msg)
+        decoded = C.viterbi_decode(coded, terminated=True)
+        assert np.array_equal(decoded, msg)
+
+    def test_decoded_output_is_binary(self):
+        rng = np.random.default_rng(5)
+        noisy = rng.integers(0, 2, 100).astype(np.uint8)
+        decoded = C.viterbi_decode(noisy)
+        assert set(np.unique(decoded)).issubset({0, 1})
+
+
+class TestCodeRate:
+    def test_ratio(self):
+        assert C.CodeRate.from_name("3/4").ratio == 0.75
+
+    def test_bad_name(self):
+        with pytest.raises(EncodingError):
+            C.CodeRate.from_name("7/8")

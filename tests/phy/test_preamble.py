@@ -1,0 +1,143 @@
+"""Tests for the 802.11 preamble, SIGNAL field and full-frame assembly."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import DecodingError, EncodingError
+from repro.phy import preamble as P
+from repro.phy import ofdm
+
+
+class TestTrainingFields:
+    def test_stf_length_and_periodicity(self):
+        stf = P.short_training_field()
+        assert stf.size == 160
+        # Ten repetitions of a 16-sample period.
+        for k in range(1, 10):
+            np.testing.assert_allclose(stf[:16], stf[16 * k : 16 * (k + 1)], atol=1e-12)
+
+    def test_ltf_length_and_structure(self):
+        ltf = P.long_training_field()
+        assert ltf.size == 160
+        # CP is a copy of the symbol tail; the two symbols are identical.
+        np.testing.assert_allclose(ltf[:32], ltf[128:160], atol=1e-12)
+        np.testing.assert_allclose(ltf[32:96], ltf[96:160], atol=1e-12)
+
+    def test_ltf_reference_has_52_active_carriers(self):
+        ref = P.ltf_reference_symbol()
+        assert ref.size == 53
+        assert np.count_nonzero(ref) == 52
+        assert set(np.unique(ref)) == {-1.0, 0.0, 1.0}
+
+    def test_fields_have_energy(self):
+        for field in (P.short_training_field(), P.long_training_field()):
+            assert np.mean(np.abs(field) ** 2) > 0.1
+
+
+class TestSignalField:
+    @pytest.mark.parametrize("rate", sorted(P.RATE_BITS))
+    def test_bits_roundtrip_all_rates(self, rate):
+        field = P.SignalField(rate_mbps=rate, length=100)
+        decoded = P.decode_signal_bits(P.encode_signal_bits(field))
+        assert decoded == field
+
+    @given(st.integers(1, P.MAX_LENGTH))
+    @settings(max_examples=30)
+    def test_length_roundtrip(self, length):
+        field = P.SignalField(rate_mbps=24, length=length)
+        assert P.decode_signal_bits(P.encode_signal_bits(field)).length == length
+
+    def test_tail_bits_zero(self):
+        bits = P.encode_signal_bits(P.SignalField(rate_mbps=6, length=1))
+        assert bits[18:].sum() == 0
+
+    def test_parity_detects_corruption(self):
+        bits = P.encode_signal_bits(P.SignalField(rate_mbps=6, length=77))
+        bits[7] ^= 1
+        with pytest.raises(DecodingError, match="parity"):
+            P.decode_signal_bits(bits)
+
+    def test_invalid_rate_bits(self):
+        bits = P.encode_signal_bits(P.SignalField(rate_mbps=6, length=77))
+        # 0000 is not a valid RATE pattern; fix parity accordingly.
+        bits[0:4] = [0, 0, 0, 0]
+        bits[17] = int(bits[0:17].sum()) & 1
+        with pytest.raises(DecodingError, match="RATE"):
+            P.decode_signal_bits(bits)
+
+    def test_field_validation(self):
+        with pytest.raises(EncodingError):
+            P.SignalField(rate_mbps=11, length=10)
+        with pytest.raises(EncodingError):
+            P.SignalField(rate_mbps=6, length=0)
+        with pytest.raises(EncodingError):
+            P.SignalField(rate_mbps=6, length=5000)
+
+    def test_wrong_bit_count(self):
+        with pytest.raises(DecodingError):
+            P.decode_signal_bits(np.zeros(23, np.uint8))
+
+    def test_symbol_roundtrip(self):
+        field = P.SignalField(rate_mbps=36, length=1234)
+        assert P.demodulate_signal(P.modulate_signal(field)) == field
+
+    def test_symbol_roundtrip_with_noise(self):
+        rng = np.random.default_rng(0)
+        sym = P.modulate_signal(P.SignalField(rate_mbps=54, length=60))
+        noisy = sym + 0.05 * (
+            rng.standard_normal(sym.size) + 1j * rng.standard_normal(sym.size)
+        )
+        assert P.demodulate_signal(noisy).rate_mbps == 54
+
+
+class TestFullFrame:
+    @pytest.mark.parametrize("rate", [6, 24, 54])
+    def test_ppdu_roundtrip(self, rate):
+        payload = bytes(range(50))
+        frame = P.build_ppdu(payload, rate_mbps=rate)
+        parsed = P.parse_ppdu(frame)
+        assert parsed.payload == payload
+        assert parsed.signal.rate_mbps == rate
+        assert parsed.signal.length == 50
+        assert parsed.start_index == 0
+
+    def test_frame_layout(self):
+        frame = P.build_ppdu(b"x" * 10, rate_mbps=54)
+        # 160 STF + 160 LTF + 80 SIGNAL + one 80-sample DATA symbol.
+        assert frame.size == 160 + 160 + 80 + 80
+
+    def test_locate_preamble_with_offset(self):
+        rng = np.random.default_rng(1)
+        frame = P.build_ppdu(b"offset test", rate_mbps=24)
+        noise = 0.01 * (rng.standard_normal(137) + 1j * rng.standard_normal(137))
+        capture = np.concatenate([noise, frame])
+        parsed = P.parse_ppdu(capture, locate=True)
+        assert parsed.start_index == 137
+        assert parsed.payload == b"offset test"
+
+    def test_locate_rejects_pure_noise(self):
+        rng = np.random.default_rng(2)
+        noise = rng.standard_normal(500) + 1j * rng.standard_normal(500)
+        with pytest.raises(DecodingError, match="no preamble"):
+            P.locate_preamble(noise)
+
+    def test_truncated_frame_rejected(self):
+        frame = P.build_ppdu(b"truncate me", rate_mbps=6)
+        with pytest.raises(DecodingError, match="truncated"):
+            P.parse_ppdu(frame[:-40])
+
+    def test_too_short_capture(self):
+        with pytest.raises(DecodingError):
+            P.parse_ppdu(np.zeros(100, complex))
+
+    def test_empty_payload_rejected(self):
+        with pytest.raises(EncodingError):
+            P.build_ppdu(b"")
+
+    def test_receiver_learns_rate_from_signal(self):
+        # The parser must decode DATA at whatever rate SIGNAL declares.
+        for rate in (12, 48):
+            frame = P.build_ppdu(b"rate agility", rate_mbps=rate)
+            assert P.parse_ppdu(frame).payload == b"rate agility"

@@ -1,0 +1,105 @@
+"""Tests for the Gray-mapped QAM constellations."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import EncodingError
+from repro.phy import qam
+
+
+ALL = [qam.BPSK, qam.QPSK, qam.QAM16, qam.QAM64]
+
+
+class TestConstruction:
+    @pytest.mark.parametrize("c", ALL)
+    def test_size(self, c):
+        assert c.size == 2**c.bits_per_symbol
+        assert c.labels.shape == (c.size, c.bits_per_symbol)
+
+    @pytest.mark.parametrize("c", ALL)
+    def test_unit_average_energy(self, c):
+        # K_MOD normalises each constellation to unit mean power.
+        assert np.mean(np.abs(c.points) ** 2) == pytest.approx(1.0)
+
+    @pytest.mark.parametrize("c", ALL)
+    def test_points_distinct(self, c):
+        assert len(set(np.round(c.points, 9).tolist())) == c.size
+
+    @pytest.mark.parametrize("c", [qam.QPSK, qam.QAM16, qam.QAM64])
+    def test_gray_property(self, c):
+        # Horizontally or vertically adjacent points differ in exactly 1 bit.
+        pts = c.points
+        labels = c.labels
+        # Minimum distance between distinct points.
+        d = np.abs(pts[:, None] - pts[None, :])
+        np.fill_diagonal(d, np.inf)
+        dmin = d.min()
+        for i in range(c.size):
+            for j in range(c.size):
+                if i < j and d[i, j] < dmin * 1.001:
+                    assert int(np.sum(labels[i] != labels[j])) == 1
+
+    def test_lookup(self):
+        assert qam.constellation_for(6) is qam.QAM64
+
+    def test_lookup_unknown(self):
+        with pytest.raises(EncodingError):
+            qam.constellation_for(3)
+
+
+class TestModulation:
+    @pytest.mark.parametrize("c", ALL)
+    def test_roundtrip_all_symbols(self, c):
+        bits = c.labels.reshape(-1)
+        symbols = c.modulate(bits)
+        assert symbols.size == c.size
+        assert np.array_equal(c.demodulate(symbols), bits)
+
+    @given(st.integers(0, 3), st.integers(1, 30))
+    @settings(max_examples=25, deadline=None)
+    def test_roundtrip_random(self, which, n_syms):
+        c = ALL[which]
+        rng = np.random.default_rng(which * 100 + n_syms)
+        bits = rng.integers(0, 2, n_syms * c.bits_per_symbol).astype(np.uint8)
+        assert np.array_equal(c.demodulate(c.modulate(bits)), bits)
+
+    def test_partial_symbol_rejected(self):
+        with pytest.raises(EncodingError):
+            qam.QAM64.modulate([0, 1, 0])
+
+    def test_demodulate_tolerates_noise(self):
+        rng = np.random.default_rng(7)
+        bits = rng.integers(0, 2, 600).astype(np.uint8)
+        sym = qam.QAM64.modulate(bits)
+        # Perturb by less than half the minimum distance: min spacing of
+        # normalised 64-QAM is 2/sqrt(42) ~ 0.3086.
+        noise = (rng.random(sym.size) - 0.5) * 0.1 + 1j * (
+            rng.random(sym.size) - 0.5
+        ) * 0.1
+        assert np.array_equal(qam.QAM64.demodulate(sym + noise), bits)
+
+    def test_bpsk_values(self):
+        assert qam.BPSK.modulate([0])[0] == pytest.approx(-1.0)
+        assert qam.BPSK.modulate([1])[0] == pytest.approx(1.0)
+
+
+class TestQuantization:
+    def test_zero_error_on_lattice(self):
+        assert qam.QAM64.quantization_error(qam.QAM64.points, 1.0) == pytest.approx(
+            0.0, abs=1e-18
+        )
+
+    def test_scaled_lattice(self):
+        assert qam.QAM64.quantization_error(
+            2.5 * qam.QAM64.points, 2.5
+        ) == pytest.approx(0.0, abs=1e-12)
+
+    def test_nearest_index(self):
+        idx = qam.QAM64.nearest_index(qam.QAM64.points * 1.001)
+        assert np.array_equal(idx, np.arange(64))
+
+    def test_error_positive_off_lattice(self):
+        pts = np.array([0.01 + 0.01j])
+        assert qam.QAM64.quantization_error(pts, 1.0) > 0

@@ -1,0 +1,193 @@
+"""Tests for the field-experiment simulator and scenario factories."""
+
+import pytest
+
+from repro.core.dqn import DQNAgent, DQNConfig
+from repro.core.mdp import MDPConfig
+from repro.errors import ConfigurationError, SimulationError
+from repro.jamming.jammer import FieldJammerConfig
+from repro.sim.engine import SlottedSimulation
+from repro.sim.field import (
+    DQNPolicyAdapter,
+    FieldConfig,
+    FieldExperiment,
+    StatePolicyAdapter,
+)
+from repro.sim.scenario import (
+    SCHEMES,
+    field_jammer_config,
+    paper_defaults,
+    scheme_policy,
+)
+
+
+class TestEngine:
+    def test_abstract_loop(self):
+        class Counter(SlottedSimulation[int]):
+            def run_slot(self, slot_index, start_time):
+                assert start_time == pytest.approx(slot_index * self.slot_duration_s)
+                return slot_index
+
+        sim = Counter(2.0, seed=0)
+        out = sim.run(5)
+        assert out == [0, 1, 2, 3, 4]
+        assert sim.now == 10.0
+        sim.reset_records()
+        assert sim.records == []
+
+    def test_validation(self):
+        class Noop(SlottedSimulation[int]):
+            def run_slot(self, slot_index, start_time):
+                return 0
+
+        with pytest.raises(SimulationError):
+            Noop(0.0)
+        with pytest.raises(SimulationError):
+            Noop(1.0).run(0)
+
+
+class TestScenario:
+    def test_paper_defaults(self):
+        d = paper_defaults()
+        assert d.mdp.loss_jam == 100.0
+        assert d.mdp.loss_hop == 50.0
+        assert d.mdp.sweep_cycle == 4
+        assert d.mdp.tx_power_levels == tuple(range(6, 16))
+        assert d.tx_slot_duration_s == 3.0
+
+    def test_scheme_factories(self):
+        d = paper_defaults()
+        for name in SCHEMES:
+            policy = scheme_policy(name, d.mdp, seed=0)
+            action = policy.action(1)
+            assert hasattr(action, "hop")
+
+    def test_unknown_scheme(self):
+        with pytest.raises(ConfigurationError):
+            scheme_policy("dqn-magic", paper_defaults().mdp)
+
+    def test_field_jammer_matches_geometry(self):
+        d = paper_defaults()
+        cfg = field_jammer_config(d, slot_duration_s=1.5)
+        assert cfg.slot_duration_s == 1.5
+        assert cfg.num_channels == d.mdp.num_channels
+        assert cfg.mode == d.mdp.jammer_mode
+
+
+class TestFieldConfig:
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            FieldConfig(tx_slot_duration_s=0.0)
+        with pytest.raises(ConfigurationError):
+            FieldConfig(num_peripherals=0)
+        with pytest.raises(ConfigurationError):
+            FieldConfig(jam_state_threshold=0.0)
+        with pytest.raises(ConfigurationError):
+            FieldConfig(
+                mdp=MDPConfig(num_channels=8),
+                jammer=FieldJammerConfig(num_channels=16),
+            )
+
+
+class TestAdapters:
+    def test_state_adapter_hops_within_hop_set(self):
+        d = paper_defaults()
+        policy = scheme_policy("rand", d.mdp, seed=0)
+        adapter = StatePolicyAdapter(
+            policy, d.mdp, hop_channels=(1, 5, 9), seed=1
+        )
+        seen = set()
+        for _ in range(100):
+            channel, _ = adapter.decide(1)
+            seen.add(channel)
+        assert seen <= {1, 5, 9}
+
+    def test_hop_set_validation(self):
+        d = paper_defaults()
+        policy = scheme_policy("rand", d.mdp, seed=0)
+        with pytest.raises(ConfigurationError):
+            StatePolicyAdapter(policy, d.mdp, hop_channels=(3,))
+        with pytest.raises(ConfigurationError):
+            StatePolicyAdapter(policy, d.mdp, hop_channels=(3, 99))
+
+    def test_dqn_adapter_geometry_checks(self):
+        d = paper_defaults()
+        wrong_obs = DQNAgent(
+            DQNConfig(observation_size=9, num_actions=160), seed=0
+        )
+        with pytest.raises(ConfigurationError):
+            DQNPolicyAdapter(wrong_obs, d.mdp, history_length=5)
+        wrong_actions = DQNAgent(
+            DQNConfig(observation_size=15, num_actions=80), seed=0
+        )
+        with pytest.raises(ConfigurationError):
+            DQNPolicyAdapter(wrong_actions, d.mdp, history_length=5)
+
+    def test_dqn_adapter_decides(self):
+        d = paper_defaults()
+        agent = DQNAgent(DQNConfig(observation_size=15, num_actions=160), seed=1)
+        adapter = DQNPolicyAdapter(agent, d.mdp, seed=2)
+        channel, power = adapter.decide(1)
+        assert 0 <= channel < 16 and 0 <= power < 10
+        adapter.observe(1, channel, power)  # history update must not raise
+
+
+class TestFieldExperiment:
+    def run_scheme(self, name, slots=150, jammer=True, seed=5):
+        d = paper_defaults()
+        policy = scheme_policy(name, d.mdp, seed=seed)
+        cfg = FieldConfig(
+            mdp=d.mdp, jammer=field_jammer_config(d) if jammer else None
+        )
+        exp = FieldExperiment(
+            cfg, StatePolicyAdapter(policy, d.mdp, seed=seed + 1), seed=seed + 2
+        )
+        return exp.run_experiment(slots)
+
+    def test_result_fields(self):
+        res = self.run_scheme("optimal")
+        assert res.slots == 150
+        assert len(res.records) == 150
+        assert res.goodput_pkts_per_slot > 0
+        assert 0.0 < res.utilization <= 1.0
+        assert res.metrics.slots == 150
+
+    def test_no_jammer_is_clean(self):
+        res = self.run_scheme("optimal", jammer=False)
+        assert res.metrics.success_rate == 1.0
+        assert res.metrics.jam_attempt_rate == 0.0
+
+    def test_fig11a_ordering(self):
+        # The paper's headline: RL FH > Rand FH > PSV FH under jamming, all
+        # below the no-jammer ceiling.
+        psv = self.run_scheme("psv").goodput_pkts_per_slot
+        rand = self.run_scheme("rand").goodput_pkts_per_slot
+        optimal = self.run_scheme("optimal").goodput_pkts_per_slot
+        clean = self.run_scheme("optimal", jammer=False).goodput_pkts_per_slot
+        assert optimal > rand > psv
+        assert clean > optimal
+
+    def test_jammed_slots_lose_packets(self):
+        res = self.run_scheme("psv")
+        jammed = [r for r in res.records if r.state == "J"]
+        clean = [r for r in res.records if r.state not in ("J", "TJ")]
+        assert jammed and clean
+        mean_jammed = sum(r.packets_delivered for r in jammed) / len(jammed)
+        mean_clean = sum(r.packets_delivered for r in clean) / len(clean)
+        assert mean_jammed < mean_clean * 0.5
+
+    def test_run_experiment_validation(self):
+        d = paper_defaults()
+        policy = scheme_policy("psv", d.mdp)
+        exp = FieldExperiment(
+            FieldConfig(mdp=d.mdp),
+            StatePolicyAdapter(policy, d.mdp, seed=0),
+            seed=1,
+        )
+        with pytest.raises(SimulationError):
+            exp.run_experiment(0)
+
+    def test_reproducible_given_seed(self):
+        a = self.run_scheme("optimal", slots=80, seed=9)
+        b = self.run_scheme("optimal", slots=80, seed=9)
+        assert a.goodput_pkts_per_slot == b.goodput_pkts_per_slot

@@ -1,0 +1,115 @@
+"""Tests for the packet-level micro-testbed (Fig. 2(b) as an experiment)."""
+
+import pytest
+
+from repro.channel.link import JammerSignalType
+from repro.constants import WIFI_TX_POWER_DBM, ZIGBEE_TX_POWER_DBM
+from repro.errors import ConfigurationError
+from repro.sim.testbed import Testbed, TestbedConfig
+
+
+class TestConfig:
+    def test_defaults_valid(self):
+        cfg = TestbedConfig()
+        assert cfg.frame_airtime_s == pytest.approx((6 + 60 + 2) * 8 / 250e3)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            TestbedConfig(num_peripherals=0)
+        with pytest.raises(ConfigurationError):
+            TestbedConfig(link_distance_m=0.0)
+        with pytest.raises(ConfigurationError):
+            TestbedConfig(zigbee_channel=5)
+        with pytest.raises(ConfigurationError):
+            TestbedConfig(frame_payload_octets=200)
+        with pytest.raises(ConfigurationError):
+            TestbedConfig(jammer_reaction_probability=1.5)
+
+
+class TestGeometry:
+    def test_nodes_placed_at_link_distance(self):
+        tb = Testbed(TestbedConfig(num_peripherals=4, link_distance_m=5.0), seed=0)
+        for node_id in tb.node_ids:
+            assert tb.medium.distance_between(node_id, "hub") == pytest.approx(5.0)
+
+    def test_jammer_moves(self):
+        tb = Testbed(seed=0)
+        tb.set_jammer_distance(7.5)
+        assert tb.medium.distance_between("jammer", "hub") == 7.5
+
+    def test_bad_jammer_distance(self):
+        with pytest.raises(ConfigurationError):
+            Testbed(seed=0).set_jammer_distance(0.0)
+
+
+class TestWindows:
+    def test_ledger_counts(self):
+        tb = Testbed(TestbedConfig(num_peripherals=2), seed=1)
+        stats = tb.run_window(frames_per_node=10)
+        assert stats.attempts == 20
+        assert 0 <= stats.delivered <= 20
+        assert stats.air_time_s > 0
+
+    def test_no_jammer_reaction_means_clean_link(self):
+        tb = Testbed(
+            TestbedConfig(jammer_reaction_probability=0.0), seed=2
+        )
+        tb.set_jammer_distance(1.0)
+        stats = tb.run_window(frames_per_node=20)
+        assert stats.packet_error_rate < 0.05
+        assert stats.throughput_kbps > 50
+
+    def test_point_blank_jammer_destroys_window(self):
+        tb = Testbed(
+            TestbedConfig(jammer_reaction_probability=1.0), seed=3
+        )
+        tb.set_jammer_distance(0.5)
+        stats = tb.run_window(frames_per_node=20)
+        assert stats.packet_error_rate > 0.9
+        assert stats.throughput_kbps < 10
+
+    def test_window_validation(self):
+        with pytest.raises(ConfigurationError):
+            Testbed(seed=0).run_window(0)
+
+
+class TestFig2bShape:
+    """The paper's jamming-effect experiment, frame by frame."""
+
+    def sweep(self, signal, tx_dbm, seed):
+        tb = Testbed(
+            TestbedConfig(jammer_signal=signal, jammer_tx_dbm=tx_dbm), seed=seed
+        )
+        return tb.distance_sweep((1, 4, 8, 12, 15), frames_per_node=30)
+
+    def test_per_falls_throughput_rises(self):
+        rows = self.sweep(JammerSignalType.EMUBEE, WIFI_TX_POWER_DBM, seed=4)
+        pers = [r[1] for r in rows]
+        tputs = [r[2] for r in rows]
+        # Broad trend (MAC retries add noise): endpoints clearly ordered.
+        assert pers[0] > pers[-1] + 20
+        assert tputs[-1] > tputs[0] * 2
+
+    def test_ranking_emubee_over_zigbee_over_wifi(self):
+        emu = dict((r[0], r[1]) for r in self.sweep(
+            JammerSignalType.EMUBEE, WIFI_TX_POWER_DBM, seed=5))
+        zig = dict((r[0], r[1]) for r in self.sweep(
+            JammerSignalType.ZIGBEE, ZIGBEE_TX_POWER_DBM, seed=5))
+        wifi = dict((r[0], r[1]) for r in self.sweep(
+            JammerSignalType.WIFI, WIFI_TX_POWER_DBM, seed=5))
+        # Mid-to-long range: the cross-technology jammer dominates.
+        for d in (8.0, 12.0):
+            assert emu[d] >= zig[d] - 5
+            assert emu[d] >= wifi[d] - 5
+        assert emu[8.0] > wifi[8.0] + 20
+
+    def test_matches_analytic_figure_ordering(self):
+        # The packet-level experiment and the analytic Fig. 2(b) generator
+        # agree on who is dangerous at 10 m.
+        from repro.analysis.figures import fig2b_jamming_effect
+
+        analytic = {r.distance_m: r.per for r in fig2b_jamming_effect((10,))}[10.0]
+        emu = self.sweep(JammerSignalType.EMUBEE, WIFI_TX_POWER_DBM, seed=6)
+        emu_10ish = [r[1] for r in emu if r[0] in (8.0, 12.0)]
+        assert analytic["EmuBee"] > analytic["WiFi"]
+        assert max(emu_10ish) > 10.0  # EmuBee still biting near 10 m
