@@ -2,11 +2,14 @@
 
 Each benchmark reproduces one paper figure: it computes the figure's data
 (timed once via ``benchmark.pedantic``), asserts the qualitative shape the
-paper reports, prints the table to the terminal (bypassing capture) and
-writes it to ``benchmarks/results/<test>.txt``.
+paper reports, prints the table to the terminal (bypassing capture),
+writes it to ``benchmarks/results/<test>.txt`` and snapshots the stage
+timings to ``benchmarks/results/BENCH_<figure-fn>.json``.
 
 Budgets: the evaluation slot count defaults to the paper's 20 000 and can
-be reduced for quick runs with ``REPRO_BENCH_SLOTS=2000 pytest benchmarks/``.
+be reduced for quick runs with ``REPRO_BENCH_SLOTS=2000 pytest benchmarks/``;
+set ``REPRO_WORKERS=4`` (or ``auto``) to fan each figure's Monte-Carlo
+grid over a process pool.
 """
 
 from __future__ import annotations
@@ -15,6 +18,9 @@ import os
 from pathlib import Path
 
 import pytest
+
+from repro.exec import timing
+from repro.exec.runner import resolve_workers
 
 RESULTS_DIR = Path(__file__).parent / "results"
 
@@ -54,5 +60,23 @@ def report(request, capsys):
 
 
 def run_once(benchmark, fn, *args, **kwargs):
-    """Time ``fn`` exactly once (figure computations are minutes-scale)."""
-    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)
+    """Time ``fn`` exactly once (figure computations are minutes-scale).
+
+    Wall-clock lands in the timing registry under the figure function's
+    name and the whole registry is snapshotted to ``BENCH_<name>.json`` —
+    the per-stage perf trajectory artifact for this benchmark run.
+    """
+    name = fn.__name__
+    with timing.REGISTRY.stage(name):
+        result = benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)
+    timing.write_bench(
+        name,
+        directory=RESULTS_DIR,
+        extra={
+            "workers": resolve_workers(),
+            "bench_slots": BENCH_SLOTS,
+            "field_slots": FIELD_SLOTS,
+            "dqn_episodes": DQN_EPISODES,
+        },
+    )
+    return result

@@ -28,10 +28,11 @@ from repro.core.policy import policy_from_solution_map
 from repro.core.solver import value_iteration
 from repro.core.trainer import TrainerConfig, train_dqn
 from repro.errors import ConfigurationError
+from repro.exec import ParallelRunner
 from repro.net.goodput import GoodputModel
 from repro.net.network import StarNetwork
 from repro.net.timing import TimingModel
-from repro.rng import derive
+from repro.rng import derive, stable_hash
 from repro.sim.field import (
     DQNPolicyAdapter,
     FieldConfig,
@@ -114,8 +115,16 @@ class SweepPoint:
 def _evaluate_config(config: MDPConfig, slots: int, seed: int) -> MetricSummary:
     solution = value_iteration(AntiJammingMDP(config))
     policy = policy_from_solution_map(solution.policy_map())
-    env = SweepJammingEnv(config, seed=derive(seed, f"sweep-{hash(config)}"))
+    # stable_hash (not hash()) so the stream tag is identical in every
+    # pool worker and across interpreter runs.
+    env = SweepJammingEnv(config, seed=derive(seed, f"sweep-{stable_hash(config)}"))
     return evaluate_policy(env, policy, slots=slots)
+
+
+def _sweep_point_task(spec: tuple) -> MetricSummary:
+    """One sweep point — an independent (config, slots, seed) experiment."""
+    config, slots, seed = spec
+    return _evaluate_config(config, slots, seed)
 
 
 @lru_cache(maxsize=8)
@@ -133,54 +142,52 @@ def parameter_sweeps(
     Returns ``{"loss_jam" | "sweep_cycle" | "loss_hop" | "power_floor":
     (SweepPoint, ...)}``. Cached: Figs. 6, 7 and 8 read different metric
     fields off the same evaluations.
+
+    Every point is an independent seeded experiment, so the whole grid is
+    dispatched through :class:`repro.exec.ParallelRunner` — set
+    ``REPRO_WORKERS`` to fan it out; results are identical for any worker
+    count.
     """
     if jammer_mode not in JammerMode.ALL:
         raise ConfigurationError(f"unknown jammer mode {jammer_mode!r}")
-    out: dict[str, tuple[SweepPoint, ...]] = {}
-    out["loss_jam"] = tuple(
-        SweepPoint(
-            float(lj),
-            _evaluate_config(
-                MDPConfig(loss_jam=float(lj), jammer_mode=jammer_mode), slots, seed
-            ),
+    axes: list[tuple[str, float, MDPConfig]] = []
+    for lj in lj_values:
+        axes.append(
+            ("loss_jam", float(lj), MDPConfig(loss_jam=float(lj), jammer_mode=jammer_mode))
         )
-        for lj in lj_values
-    )
-    out["sweep_cycle"] = tuple(
-        SweepPoint(
-            float(c),
-            _evaluate_config(
+    for c in cycle_values:
+        axes.append(
+            (
+                "sweep_cycle",
+                float(c),
                 MDPConfig(jammer_mode=jammer_mode, sweep_cycle_override=int(c)),
-                slots,
-                seed,
-            ),
+            )
         )
-        for c in cycle_values
-    )
-    out["loss_hop"] = tuple(
-        SweepPoint(
-            float(lh),
-            _evaluate_config(
-                MDPConfig(loss_hop=float(lh), jammer_mode=jammer_mode), slots, seed
-            ),
+    for lh in lh_values:
+        axes.append(
+            ("loss_hop", float(lh), MDPConfig(loss_hop=float(lh), jammer_mode=jammer_mode))
         )
-        for lh in lh_values
-    )
-    out["power_floor"] = tuple(
-        SweepPoint(
-            float(lb),
-            _evaluate_config(
+    for lb in lp_lower_values:
+        axes.append(
+            (
+                "power_floor",
+                float(lb),
                 MDPConfig(
                     tx_power_levels=tuple(range(int(lb), int(lb) + 10)),
                     jammer_mode=jammer_mode,
                 ),
-                slots,
-                seed,
-            ),
+            )
         )
-        for lb in lp_lower_values
+    runner = ParallelRunner(name="parameter_sweeps.map")
+    metrics = runner.map(
+        _sweep_point_task, [(config, slots, seed) for _, _, config in axes]
     )
-    return out
+    out: dict[str, list[SweepPoint]] = {
+        "loss_jam": [], "sweep_cycle": [], "loss_hop": [], "power_floor": []
+    }
+    for (sweep_name, x, _), summary in zip(axes, metrics):
+        out[sweep_name].append(SweepPoint(x, summary))
+    return {name: tuple(points) for name, points in out.items()}
 
 
 def _select(sweeps, metric: str):
@@ -282,6 +289,38 @@ def train_fig11_agent(
     return result.agent
 
 
+def _fig11a_task(spec: tuple) -> tuple[str, dict[str, float]]:
+    """One Fig. 11(a) scheme — an independent field experiment."""
+    scheme, slots, seed, agent = spec
+    defaults = paper_defaults()
+    jammer_cfg = field_jammer_config(defaults) if scheme != "nojx" else None
+    if scheme in ("psv", "rand"):
+        name = {"psv": "PSV FH", "rand": "Rand FH"}[scheme]
+        policy = scheme_policy(scheme, defaults.mdp, seed=derive(seed, f"pol-{scheme}"))
+        adapter = StatePolicyAdapter(
+            policy, defaults.mdp, seed=derive(seed, f"ad-{scheme}")
+        )
+    elif scheme == "rl":
+        name = "RL FH"
+        adapter = DQNPolicyAdapter(agent, defaults.mdp, seed=derive(seed, "ad-rl"))
+    elif scheme == "opt":
+        name = "RL FH (optimal)"
+        policy = scheme_policy("optimal", defaults.mdp)
+        adapter = StatePolicyAdapter(policy, defaults.mdp, seed=derive(seed, "ad-opt"))
+    else:  # nojx
+        name = "w/o Jx"
+        policy = scheme_policy("optimal", defaults.mdp)
+        adapter = StatePolicyAdapter(policy, defaults.mdp, seed=derive(seed, "ad-nojx"))
+    cfg = FieldConfig(mdp=defaults.mdp, jammer=jammer_cfg)
+    exp = FieldExperiment(cfg, adapter, seed=derive(seed, f"fig11a-{name}"))
+    res = exp.run_experiment(slots)
+    return name, {
+        "goodput": res.goodput_pkts_per_slot,
+        "success_rate": res.metrics.success_rate,
+        "utilization": res.utilization,
+    }
+
+
 def fig11a_scheme_comparison(
     *,
     agent: DQNAgent | None = None,
@@ -292,49 +331,15 @@ def fig11a_scheme_comparison(
 
     When ``agent`` is None the RL scheme falls back to the exact MDP
     optimum (labelled ``RL FH (optimal)``); pass a trained agent to measure
-    the deployed DQN.
+    the deployed DQN. The four schemes are independent experiments and run
+    through :class:`repro.exec.ParallelRunner` (``REPRO_WORKERS``).
     """
-    defaults = paper_defaults()
-    results: dict[str, dict[str, float]] = {}
-
-    def run(name, adapter, jammer_cfg):
-        cfg = FieldConfig(mdp=defaults.mdp, jammer=jammer_cfg)
-        exp = FieldExperiment(cfg, adapter, seed=derive(seed, f"fig11a-{name}"))
-        res = exp.run_experiment(slots)
-        results[name] = {
-            "goodput": res.goodput_pkts_per_slot,
-            "success_rate": res.metrics.success_rate,
-            "utilization": res.utilization,
-        }
-
-    jammer_cfg = field_jammer_config(defaults)
-    for name in ("psv", "rand"):
-        policy = scheme_policy(name, defaults.mdp, seed=derive(seed, f"pol-{name}"))
-        run(
-            {"psv": "PSV FH", "rand": "Rand FH"}[name],
-            StatePolicyAdapter(policy, defaults.mdp, seed=derive(seed, f"ad-{name}")),
-            jammer_cfg,
-        )
-    if agent is not None:
-        run(
-            "RL FH",
-            DQNPolicyAdapter(agent, defaults.mdp, seed=derive(seed, "ad-rl")),
-            jammer_cfg,
-        )
-    else:
-        policy = scheme_policy("optimal", defaults.mdp)
-        run(
-            "RL FH (optimal)",
-            StatePolicyAdapter(policy, defaults.mdp, seed=derive(seed, "ad-opt")),
-            jammer_cfg,
-        )
-    policy = scheme_policy("optimal", defaults.mdp)
-    run(
-        "w/o Jx",
-        StatePolicyAdapter(policy, defaults.mdp, seed=derive(seed, "ad-nojx")),
-        None,
+    schemes = ("psv", "rand", "rl" if agent is not None else "opt", "nojx")
+    runner = ParallelRunner(name="fig11a_scheme_comparison.map")
+    rows = runner.map(
+        _fig11a_task, [(scheme, slots, seed, agent) for scheme in schemes]
     )
-    return results
+    return dict(rows)
 
 
 #: Hop set used in the Fig. 11(b) study: embedded FH cycles a small channel
@@ -356,27 +361,31 @@ def fig11b_jammer_timeslot(
     victim keeps returning to — both degrade goodput relative to the
     matched-cadence point (paper §IV-D-4).
     """
+    runner = ParallelRunner(name="fig11b_jammer_timeslot.map")
+    return runner.map(
+        _fig11b_task, [(float(d), slots, seed, agent) for d in durations]
+    )
+
+
+def _fig11b_task(spec: tuple) -> tuple[float, float]:
+    """One jammer-cadence point — an independent field experiment."""
+    d, slots, seed, agent = spec
     defaults = paper_defaults()
-    rows = []
-    for d in durations:
-        jammer_cfg = field_jammer_config(defaults, slot_duration_s=float(d))
-        cfg = FieldConfig(mdp=defaults.mdp, jammer=jammer_cfg)
-        if agent is not None:
-            adapter = DQNPolicyAdapter(
-                agent, defaults.mdp, seed=derive(seed, f"ad11b-{d}")
-            )
-        else:
-            policy = scheme_policy("optimal", defaults.mdp)
-            adapter = StatePolicyAdapter(
-                policy,
-                defaults.mdp,
-                hop_channels=FIG11B_HOP_SET,
-                seed=derive(seed, f"ad11b-{d}"),
-            )
-        exp = FieldExperiment(cfg, adapter, seed=derive(seed, f"fig11b-{d}"))
-        res = exp.run_experiment(slots)
-        rows.append((float(d), res.goodput_pkts_per_slot))
-    return rows
+    jammer_cfg = field_jammer_config(defaults, slot_duration_s=d)
+    cfg = FieldConfig(mdp=defaults.mdp, jammer=jammer_cfg)
+    if agent is not None:
+        adapter = DQNPolicyAdapter(agent, defaults.mdp, seed=derive(seed, f"ad11b-{d}"))
+    else:
+        policy = scheme_policy("optimal", defaults.mdp)
+        adapter = StatePolicyAdapter(
+            policy,
+            defaults.mdp,
+            hop_channels=FIG11B_HOP_SET,
+            seed=derive(seed, f"ad11b-{d}"),
+        )
+    exp = FieldExperiment(cfg, adapter, seed=derive(seed, f"fig11b-{d}"))
+    res = exp.run_experiment(slots)
+    return d, res.goodput_pkts_per_slot
 
 
 __all__ = [

@@ -19,7 +19,7 @@ from repro.channel.link import JammerSignalType
 from repro.channel.noise import db_to_linear
 from repro.errors import ChannelError
 from repro.phy import zigbee
-from repro.phy.emulation import WaveformEmulator, frequency_shift
+from repro.phy.emulation import emulate_template, frequency_shift
 from repro.phy.wifi import WifiPhy
 from repro.rng import SeedLike, make_rng
 
@@ -88,8 +88,9 @@ def make_jamming_waveform(
         if signal_type is JammerSignalType.ZIGBEE:
             wf = zigbee.ZigBeePhy().transmit(payload)
         else:
-            emulator = WaveformEmulator()
-            wf = emulator.emulate_bytes(payload).emulated
+            # Template cache: each distinct burst payload is emulated once
+            # per process (the pipeline is deterministic given the payload).
+            wf = emulate_template(payload).emulated
     # Tile/trim to the requested length, then normalise to unit power.
     reps = -(-n_samples // wf.size)
     wf = np.tile(wf, reps)[:n_samples]

@@ -11,6 +11,7 @@ Commands
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 
 from repro.analysis import figures as figures_mod
@@ -18,8 +19,14 @@ from repro.analysis.stats import summarize
 from repro.analysis.tables import render_table
 from repro.core.mdp import AntiJammingMDP, JammerMode, MDPConfig
 from repro.core.solver import value_iteration
-from repro.core.trainer import TrainerConfig, evaluate_dqn, train_dqn
+from repro.core.trainer import (
+    TrainerConfig,
+    evaluate_dqn,
+    train_dqn,
+    train_dqn_multi_seed,
+)
 from repro.errors import ReproError
+from repro.exec import WORKERS_ENV, resolve_workers
 from repro.nn.serialize import artifact_size_bytes, parameter_count, save_parameters
 from repro.phy.emulation import WaveformEmulator
 
@@ -62,16 +69,43 @@ def cmd_solve(args: argparse.Namespace) -> int:
     return 0
 
 
+def _apply_workers(args: argparse.Namespace) -> None:
+    """Propagate ``--workers`` to the execution layer via REPRO_WORKERS."""
+    if getattr(args, "workers", None) is not None:
+        os.environ[WORKERS_ENV] = str(args.workers)
+
+
 def cmd_train(args: argparse.Namespace) -> int:
     config = _mdp_config(args)
-    print(f"training DQN against the {config.jammer_mode}-power jammer ...")
-    result = train_dqn(
-        config,
-        trainer=TrainerConfig(
-            episodes=args.episodes, steps_per_episode=args.steps
-        ),
-        seed=args.seed,
-    )
+    _apply_workers(args)
+    trainer_cfg = TrainerConfig(episodes=args.episodes, steps_per_episode=args.steps)
+    if args.num_seeds > 1:
+        seeds = tuple(args.seed + i for i in range(args.num_seeds))
+        print(
+            f"training {args.num_seeds} DQNs (seeds {seeds[0]}..{seeds[-1]}) "
+            f"against the {config.jammer_mode}-power jammer "
+            f"on {resolve_workers()} worker(s) ..."
+        )
+        multi = train_dqn_multi_seed(config, seeds=seeds, trainer=trainer_cfg)
+        print(
+            render_table(
+                ["seed", "episodes", "steps", "final mean reward"],
+                [
+                    [s, r.episodes, r.steps, r.reward_history[-1]]
+                    for s, r in zip(multi.seeds, multi.results)
+                ],
+                title=f"multi-seed training (mean final reward "
+                f"{multi.mean_final_reward:.2f} ± {multi.std_final_reward:.2f})",
+            )
+        )
+        result = multi.best()
+    else:
+        print(f"training DQN against the {config.jammer_mode}-power jammer ...")
+        result = train_dqn(
+            config,
+            trainer=trainer_cfg,
+            seed=args.seed,
+        )
     net = result.agent.network()
     print(
         f"trained {result.steps} steps over {result.episodes} episodes; "
@@ -102,6 +136,7 @@ def cmd_train(args: argparse.Namespace) -> int:
 
 def cmd_figure(args: argparse.Namespace) -> int:
     name = args.name
+    _apply_workers(args)
     if name == "2b":
         rows = figures_mod.fig2b_jamming_effect()
         table = [
@@ -245,6 +280,18 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--steps", type=int, default=400)
     p.add_argument("--eval-slots", type=int, default=20_000)
     p.add_argument("--seed", type=int, default=0)
+    p.add_argument(
+        "--num-seeds",
+        type=int,
+        default=1,
+        help="train this many independently-seeded runs (seed, seed+1, ...) "
+        "in parallel and keep the best",
+    )
+    p.add_argument(
+        "--workers",
+        help="process-pool size for parallel stages (overrides REPRO_WORKERS; "
+        "'auto' = one per CPU)",
+    )
     p.add_argument("--save", help="path for the .npz parameter artifact")
     p.set_defaults(func=cmd_train)
 
@@ -255,6 +302,11 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument("--slots", type=int, default=5000)
     p.add_argument("--seed", type=int, default=0)
+    p.add_argument(
+        "--workers",
+        help="process-pool size for the sweep fan-out (overrides "
+        "REPRO_WORKERS; 'auto' = one per CPU)",
+    )
     p.add_argument(
         "--train-rl",
         action="store_true",

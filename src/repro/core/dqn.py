@@ -137,8 +137,10 @@ class DQNAgent:
         best = int(np.argmax(self.q_values(observation)))
         if greedy or self._rng.random() >= self.epsilon:
             return best
-        others = [a for a in range(self.config.num_actions) if a != best]
-        return int(others[int(self._rng.integers(len(others)))])
+        # Uniform over the num_actions - 1 non-best actions without
+        # materialising them: indices >= best shift up by one.
+        draw = int(self._rng.integers(self.config.num_actions - 1))
+        return draw + (draw >= best)
 
     # -- learning -----------------------------------------------------------------
 

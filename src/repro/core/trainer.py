@@ -17,6 +17,7 @@ from repro.core.envs import SweepJammingEnv
 from repro.core.mdp import MDPConfig
 from repro.core.metrics import MetricSummary, SlotLog
 from repro.errors import TrainingError
+from repro.exec import ParallelRunner
 from repro.rng import SeedLike, derive
 
 
@@ -123,6 +124,70 @@ def train_dqn(
     )
 
 
+@dataclass(frozen=True)
+class MultiSeedResult:
+    """Per-seed training runs plus cross-seed aggregates."""
+
+    seeds: tuple[int, ...]
+    results: tuple[TrainingResult, ...]
+
+    @property
+    def final_rewards(self) -> np.ndarray:
+        """Last-episode mean reward of each seed's run."""
+        return np.array([r.reward_history[-1] for r in self.results])
+
+    @property
+    def mean_final_reward(self) -> float:
+        return float(self.final_rewards.mean())
+
+    @property
+    def std_final_reward(self) -> float:
+        return float(self.final_rewards.std())
+
+    def best(self) -> TrainingResult:
+        """The run with the highest final-episode reward."""
+        return self.results[int(np.argmax(self.final_rewards))]
+
+
+def _train_task(spec: tuple) -> TrainingResult:
+    """One independently-seeded training run (pool-dispatchable)."""
+    env_config, trainer, dqn, history_length, seed = spec
+    return train_dqn(
+        env_config,
+        trainer=trainer,
+        dqn=dqn,
+        history_length=history_length,
+        seed=seed,
+    )
+
+
+def train_dqn_multi_seed(
+    env_config: MDPConfig | None = None,
+    *,
+    seeds=(0, 1, 2, 3),
+    trainer: TrainerConfig | None = None,
+    dqn: DQNConfig | None = None,
+    history_length: int = 5,
+    workers: int | str | None = None,
+) -> MultiSeedResult:
+    """Train one DQN per seed, fanning the runs out over a process pool.
+
+    Each run is fully determined by its own seed (environment and agent
+    streams both derive from it), so results are identical for any
+    ``workers`` setting — ``REPRO_WORKERS=1`` reproduces the serial loop
+    bit for bit.
+    """
+    seed_list = tuple(int(s) for s in seeds)
+    if not seed_list:
+        raise TrainingError("need at least one seed")
+    runner = ParallelRunner(workers, name="train_dqn_multi_seed.map")
+    results = runner.map(
+        _train_task,
+        [(env_config, trainer, dqn, history_length, s) for s in seed_list],
+    )
+    return MultiSeedResult(seeds=seed_list, results=tuple(results))
+
+
 def evaluate_dqn(
     agent: DQNAgent,
     env_config: MDPConfig | None = None,
@@ -150,4 +215,11 @@ def evaluate_dqn(
     return log.summary()
 
 
-__all__ = ["TrainingResult", "TrainerConfig", "train_dqn", "evaluate_dqn"]
+__all__ = [
+    "TrainingResult",
+    "TrainerConfig",
+    "train_dqn",
+    "MultiSeedResult",
+    "train_dqn_multi_seed",
+    "evaluate_dqn",
+]

@@ -1,0 +1,33 @@
+"""Execution layer: parallel Monte-Carlo dispatch and stage timing.
+
+``ParallelRunner`` fans independent seeded experiments out over a process
+pool (``REPRO_WORKERS``); :mod:`repro.exec.timing` accumulates per-stage
+wall-clock totals and snapshots them as ``BENCH_<name>.json`` artifacts.
+"""
+
+from repro.exec.runner import ParallelRunner, WORKERS_ENV, parallel_map, resolve_workers
+from repro.exec.timing import (
+    BENCH_DIR_ENV,
+    REGISTRY,
+    StageStats,
+    TimingRegistry,
+    bench_dir,
+    record,
+    stage,
+    write_bench,
+)
+
+__all__ = [
+    "ParallelRunner",
+    "WORKERS_ENV",
+    "parallel_map",
+    "resolve_workers",
+    "BENCH_DIR_ENV",
+    "REGISTRY",
+    "StageStats",
+    "TimingRegistry",
+    "bench_dir",
+    "record",
+    "stage",
+    "write_bench",
+]

@@ -1,0 +1,144 @@
+"""Lightweight wall-clock timing registry for the execution layer.
+
+Every heavy pipeline stage (a parameter sweep, a DQN training run, a
+figure regeneration) records its elapsed wall-clock here under a stage
+name. Totals accumulate per process; :func:`write_bench` snapshots the
+registry into a ``BENCH_<name>.json`` artifact so successive PRs can
+track the performance trajectory of each benchmark.
+
+Artifacts land in ``$REPRO_BENCH_DIR`` when set, else in
+``benchmarks/results/`` next to the figure tables.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterator
+
+#: Environment variable overriding where BENCH_*.json artifacts are written.
+BENCH_DIR_ENV = "REPRO_BENCH_DIR"
+
+#: Default artifact directory (benchmarks/results at the repo root).
+DEFAULT_BENCH_DIR = Path(__file__).resolve().parents[3] / "benchmarks" / "results"
+
+
+def bench_dir() -> Path:
+    """Directory BENCH artifacts are written to (env-overridable)."""
+    override = os.environ.get(BENCH_DIR_ENV)
+    return Path(override) if override else DEFAULT_BENCH_DIR
+
+
+@dataclass
+class StageStats:
+    """Accumulated wall-clock of one named stage."""
+
+    seconds: float = 0.0
+    calls: int = 0
+    #: Task count processed by the stage (e.g. sweep points), when known.
+    items: int = 0
+
+    def as_dict(self) -> dict:
+        return {"seconds": self.seconds, "calls": self.calls, "items": self.items}
+
+
+@dataclass
+class TimingRegistry:
+    """Per-stage wall-clock accumulator.
+
+    Thread-unsafe by design: the runner times stages from the dispatching
+    (parent) process only, never from pool workers.
+    """
+
+    stages: dict[str, StageStats] = field(default_factory=dict)
+
+    def record(self, name: str, seconds: float, *, items: int = 0) -> None:
+        """Add ``seconds`` (and optionally ``items`` processed) to a stage."""
+        stats = self.stages.setdefault(name, StageStats())
+        stats.seconds += float(seconds)
+        stats.calls += 1
+        stats.items += int(items)
+
+    @contextmanager
+    def stage(self, name: str, *, items: int = 0) -> Iterator[None]:
+        """Time a ``with`` block under ``name``."""
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            self.record(name, time.perf_counter() - start, items=items)
+
+    def total_seconds(self, name: str) -> float:
+        """Accumulated wall-clock of ``name`` (0.0 if never recorded)."""
+        stats = self.stages.get(name)
+        return stats.seconds if stats else 0.0
+
+    def reset(self) -> None:
+        self.stages.clear()
+
+    def as_dict(self) -> dict:
+        return {name: stats.as_dict() for name, stats in self.stages.items()}
+
+    def write_bench(self, name: str, *, directory: Path | str | None = None,
+                    extra: dict | None = None) -> Path:
+        """Write the registry snapshot as ``BENCH_<name>.json``.
+
+        Returns the path written. ``extra`` entries are merged into the
+        top-level document (e.g. slot budgets, worker counts).
+        """
+        out_dir = Path(directory) if directory is not None else bench_dir()
+        out_dir.mkdir(parents=True, exist_ok=True)
+        doc = {
+            "name": name,
+            "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
+            "platform": platform.platform(),
+            "python": platform.python_version(),
+            "cpu_count": os.cpu_count(),
+            "workers_env": os.environ.get("REPRO_WORKERS"),
+            "stages": self.as_dict(),
+        }
+        if extra:
+            doc.update(extra)
+        path = out_dir / f"BENCH_{name}.json"
+        path.write_text(json.dumps(doc, indent=2, sort_keys=True) + "\n")
+        return path
+
+
+#: Process-global registry the library's pipeline stages record into.
+REGISTRY = TimingRegistry()
+
+
+def record(name: str, seconds: float, *, items: int = 0) -> None:
+    """Record into the global registry."""
+    REGISTRY.record(name, seconds, items=items)
+
+
+@contextmanager
+def stage(name: str, *, items: int = 0) -> Iterator[None]:
+    """Time a block into the global registry."""
+    with REGISTRY.stage(name, items=items):
+        yield
+
+
+def write_bench(name: str, *, directory: Path | str | None = None,
+                extra: dict | None = None) -> Path:
+    """Snapshot the global registry to ``BENCH_<name>.json``."""
+    return REGISTRY.write_bench(name, directory=directory, extra=extra)
+
+
+__all__ = [
+    "BENCH_DIR_ENV",
+    "DEFAULT_BENCH_DIR",
+    "bench_dir",
+    "StageStats",
+    "TimingRegistry",
+    "REGISTRY",
+    "record",
+    "stage",
+    "write_bench",
+]

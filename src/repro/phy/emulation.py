@@ -19,11 +19,13 @@ convex, so a bracketed search finds the global minimum fast.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import lru_cache
 
 import numpy as np
 
 from repro.errors import EmulationError
 from repro.phy import ofdm, zigbee
+from repro.phy.bits import as_bits
 from repro.phy.qam import QAM64, Constellation
 from repro.phy.wifi import WifiPhy, WifiPhyConfig
 
@@ -153,6 +155,17 @@ def error_vector_magnitude(designed: np.ndarray, emitted: np.ndarray) -> float:
     return err / ref
 
 
+@lru_cache(maxsize=256)
+def _cached_design(chip_bytes: bytes, offset_hz: float) -> np.ndarray:
+    """Design-waveform template cache: one entry per (chip stream, offset)."""
+    chips = np.frombuffer(chip_bytes, dtype=np.uint8)
+    wf = zigbee.oqpsk_modulate(chips, zigbee.DEFAULT_SAMPLES_PER_CHIP)
+    if offset_hz:
+        wf = frequency_shift(wf, offset_hz, ofdm.SAMPLE_RATE)
+    wf.setflags(write=False)
+    return wf
+
+
 @dataclass(frozen=True)
 class EmulationResult:
     """Everything the emulation pipeline produces for one jamming burst."""
@@ -199,11 +212,14 @@ class WaveformEmulator:
     def design_from_chips(
         self, chips: np.ndarray, *, offset_hz: float = 0.0
     ) -> np.ndarray:
-        """O-QPSK-modulate ZigBee chips into a 20 Msps design waveform."""
-        wf = zigbee.oqpsk_modulate(chips, zigbee.DEFAULT_SAMPLES_PER_CHIP)
-        if offset_hz:
-            wf = frequency_shift(wf, offset_hz, ofdm.SAMPLE_RATE)
-        return wf
+        """O-QPSK-modulate ZigBee chips into a 20 Msps design waveform.
+
+        Designs are memoized on (chips, offset): jammers replay the same
+        burst payloads, so repeated designs are table lookups. The
+        returned array is read-only — copy before mutating.
+        """
+        arr = np.ascontiguousarray(as_bits(chips))
+        return _cached_design(arr.tobytes(), float(offset_hz))
 
     def design_from_bytes(
         self, data: bytes, *, offset_hz: float = 0.0
@@ -300,6 +316,27 @@ class WaveformEmulator:
         return self.emulate(designed, target_chips=chips, alpha=alpha)
 
 
+@lru_cache(maxsize=1)
+def default_emulator() -> WaveformEmulator:
+    """Shared 64-QAM emulator — construction builds the Wi-Fi chain once."""
+    return WaveformEmulator()
+
+
+@lru_cache(maxsize=128)
+def emulate_template(payload: bytes, alpha: float | None = None) -> EmulationResult:
+    """Memoized end-to-end emulation of a ZigBee ``payload``.
+
+    Jamming simulations replay a small set of burst payloads thousands of
+    times; the full inverse/forward pipeline is deterministic given
+    ``(payload, alpha)``, so each distinct burst is emulated exactly once
+    per process. The arrays inside the cached result are read-only.
+    """
+    result = default_emulator().emulate_bytes(bytes(payload), alpha=alpha)
+    result.designed.setflags(write=False)
+    result.emulated.setflags(write=False)
+    return result
+
+
 __all__ = [
     "frequency_shift",
     "quantization_error",
@@ -308,4 +345,6 @@ __all__ = [
     "error_vector_magnitude",
     "EmulationResult",
     "WaveformEmulator",
+    "default_emulator",
+    "emulate_template",
 ]

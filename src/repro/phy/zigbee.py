@@ -13,6 +13,7 @@ EmuBee chips.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import lru_cache
 
 import numpy as np
 
@@ -117,13 +118,24 @@ def despread(chips: "np.typing.ArrayLike") -> tuple[np.ndarray, np.ndarray]:
     return symbols, errors
 
 
-def half_sine_pulse(samples_per_chip: int) -> np.ndarray:
-    """Half-sine chip pulse spanning two chip periods (O-QPSK/MSK shaping)."""
-    if samples_per_chip < 1:
-        raise EncodingError("samples_per_chip must be >= 1")
+@lru_cache(maxsize=32)
+def _half_sine_pulse_cached(samples_per_chip: int) -> np.ndarray:
     n = 2 * samples_per_chip
     t = (np.arange(n) + 0.5) / n
-    return np.sin(np.pi * t)
+    pulse = np.sin(np.pi * t)
+    pulse.setflags(write=False)
+    return pulse
+
+
+def half_sine_pulse(samples_per_chip: int) -> np.ndarray:
+    """Half-sine chip pulse spanning two chip periods (O-QPSK/MSK shaping).
+
+    Memoized on ``samples_per_chip``; the returned array is read-only —
+    copy before mutating.
+    """
+    if samples_per_chip < 1:
+        raise EncodingError("samples_per_chip must be >= 1")
+    return _half_sine_pulse_cached(int(samples_per_chip))
 
 
 def oqpsk_modulate(
@@ -141,20 +153,20 @@ def oqpsk_modulate(
         raise EncodingError("chip count must be even (I/Q pairs)")
     levels = 1.0 - 2.0 * arr.astype(np.float64)  # 0 -> +1, 1 -> -1
     pulse = half_sine_pulse(samples_per_chip)
-    pulse_len = pulse.size  # 2 * samples_per_chip
-    # Each branch places one pulse per 2 chips, stepped by 2 chip periods.
+    # Each branch places one pulse per 2 chips, stepped by 2 chip periods,
+    # so consecutive pulses on a branch tile without overlap: the whole
+    # branch is one (n_pairs, 2*spc) outer product laid out flat.
     n_pairs = arr.size // 2
-    total = (2 * n_pairs + 1) * samples_per_chip + samples_per_chip
+    body = 2 * n_pairs * samples_per_chip
+    total = body + samples_per_chip  # Q branch runs half a pair longer
     i_branch = np.zeros(total, dtype=np.float64)
     q_branch = np.zeros(total, dtype=np.float64)
-    for p in range(n_pairs):
-        start = 2 * p * samples_per_chip
-        i_branch[start : start + pulse_len] += levels[2 * p] * pulse
-        q_start = start + samples_per_chip  # half-chip-pair offset
-        q_branch[q_start : q_start + pulse_len] += levels[2 * p + 1] * pulse
+    i_branch[:body] = (levels[0::2, None] * pulse).reshape(-1)
+    # Q branch: same tiling, delayed by one chip period.
+    q_branch[samples_per_chip : samples_per_chip + body] = (
+        levels[1::2, None] * pulse
+    ).reshape(-1)
     waveform = i_branch + 1j * q_branch
-    # Trim trailing silence beyond the last Q pulse.
-    waveform = waveform[: 2 * n_pairs * samples_per_chip + samples_per_chip]
     rms = np.sqrt(np.mean(np.abs(waveform) ** 2))
     if rms > 0:
         waveform = waveform / rms
@@ -171,20 +183,22 @@ def oqpsk_demodulate(
     """
     wf = np.asarray(waveform, dtype=np.complex128).ravel()
     pulse = half_sine_pulse(samples_per_chip)
-    pulse_len = pulse.size
     n_pairs = (wf.size - samples_per_chip) // (2 * samples_per_chip)
     if n_pairs <= 0:
         raise DecodingError("waveform too short to contain any chips")
+    # Branch pulses tile without overlap (see oqpsk_modulate), so matched
+    # filtering is one matrix-vector product per branch. The waveform is
+    # guaranteed long enough for every window: the I block ends at
+    # 2*n_pairs*spc and the Q block at (2*n_pairs + 1)*spc <= wf.size.
+    body = 2 * n_pairs * samples_per_chip
+    corr_i = wf.real[:body].reshape(n_pairs, -1) @ pulse
+    corr_q = (
+        wf.imag[samples_per_chip : samples_per_chip + body].reshape(n_pairs, -1)
+        @ pulse
+    )
     chips = np.empty(2 * n_pairs, dtype=np.uint8)
-    for p in range(n_pairs):
-        start = 2 * p * samples_per_chip
-        seg_i = wf.real[start : start + pulse_len]
-        corr_i = float(seg_i @ pulse[: seg_i.size])
-        q_start = start + samples_per_chip
-        seg_q = wf.imag[q_start : q_start + pulse_len]
-        corr_q = float(seg_q @ pulse[: seg_q.size])
-        chips[2 * p] = 0 if corr_i >= 0 else 1
-        chips[2 * p + 1] = 0 if corr_q >= 0 else 1
+    chips[0::2] = corr_i < 0
+    chips[1::2] = corr_q < 0
     return chips
 
 

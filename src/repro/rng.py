@@ -9,6 +9,7 @@ make results depend on call ordering).
 
 from __future__ import annotations
 
+import hashlib
 from typing import Union
 
 import numpy as np
@@ -56,6 +57,22 @@ def derive(seed: SeedLike, stream: str) -> np.random.Generator:
     return np.random.default_rng(mix)
 
 
+def stable_hash(*parts: object) -> str:
+    """Deterministic short digest of the ``repr`` of ``parts``.
+
+    Unlike builtin :func:`hash`, the result does not depend on
+    ``PYTHONHASHSEED`` or the process, so stream tags built from it are
+    reproducible across runs and across pool workers. Only use with
+    objects whose ``repr`` is deterministic (numbers, strings, tuples,
+    dataclasses of those).
+    """
+    digest = hashlib.sha256()
+    for part in parts:
+        digest.update(repr(part).encode("utf-8"))
+        digest.update(b"\x1f")
+    return digest.hexdigest()[:16]
+
+
 def check_probability(p: float, name: str = "probability") -> float:
     """Validate that ``p`` lies in [0, 1] and return it as a float."""
     p = float(p)
@@ -64,4 +81,11 @@ def check_probability(p: float, name: str = "probability") -> float:
     return p
 
 
-__all__ = ["SeedLike", "make_rng", "spawn", "derive", "check_probability"]
+__all__ = [
+    "SeedLike",
+    "make_rng",
+    "spawn",
+    "derive",
+    "stable_hash",
+    "check_probability",
+]

@@ -14,12 +14,15 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass
 
+import numpy as np
+
 from repro.channel.link import JammerSignalType
 from repro.channel.medium import ActiveTransmission, Medium
 from repro.channel.propagation import LogDistancePathLoss
 from repro.channel.spectrum import ZIGBEE_CHANNELS
 from repro.constants import WIFI_TX_POWER_DBM, ZIGBEE_TX_POWER_DBM
 from repro.errors import ConfigurationError
+from repro.exec import ParallelRunner
 from repro.net.mac import CsmaConfig, CsmaMac
 from repro.phy.zigbee import BIT_RATE
 from repro.rng import SeedLike, derive, make_rng
@@ -99,6 +102,11 @@ class Testbed:
 
     def __init__(self, config: TestbedConfig | None = None, *, seed: SeedLike = None) -> None:
         self.config = config or TestbedConfig()
+        if isinstance(seed, np.random.Generator):
+            # Pin generator seeds to a drawn base so the testbed can hand
+            # reproducible per-distance seeds to pool workers.
+            seed = int(seed.integers(0, 2**63 - 1))
+        self._seed = seed
         self._rng = make_rng(derive(seed, "testbed"))
         self.medium = Medium(
             propagation=LogDistancePathLoss(shadowing_sigma_db=3.0),
@@ -191,17 +199,35 @@ class Testbed:
     # -- the Fig. 2(b) experiment ---------------------------------------------
 
     def distance_sweep(
-        self, distances, *, frames_per_node: int = 30
+        self,
+        distances,
+        *,
+        frames_per_node: int = 30,
+        workers: int | str | None = None,
     ) -> list[tuple[float, float, float]]:
-        """(distance, PER %, throughput kbps) for each jammer distance."""
-        rows = []
-        for d in distances:
-            self.set_jammer_distance(float(d))
-            stats = self.run_window(frames_per_node)
-            rows.append(
-                (float(d), 100.0 * stats.packet_error_rate, stats.throughput_kbps)
-            )
-        return rows
+        """(distance, PER %, throughput kbps) for each jammer distance.
+
+        Each distance point is an independent experiment: a fresh testbed
+        seeded from this one's seed and the distance, so the sweep fans out
+        over :class:`repro.exec.ParallelRunner` (``workers`` argument or
+        ``REPRO_WORKERS``) and the aggregate rows are identical for any
+        worker count.
+        """
+        runner = ParallelRunner(workers, name="distance_sweep.map")
+        specs = [
+            (self.config, self._seed, float(d), int(frames_per_node))
+            for d in distances
+        ]
+        return runner.map(_distance_point_task, specs)
+
+
+def _distance_point_task(spec: tuple) -> tuple[float, float, float]:
+    """One jammer-distance point of the Fig. 2(b) experiment."""
+    config, seed, distance, frames_per_node = spec
+    tb = Testbed(config, seed=derive(seed, f"distance-{distance}"))
+    tb.set_jammer_distance(distance)
+    stats = tb.run_window(frames_per_node)
+    return (distance, 100.0 * stats.packet_error_rate, stats.throughput_kbps)
 
 
 __all__ = ["TestbedConfig", "WindowStats", "Testbed"]

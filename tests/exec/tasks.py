@@ -1,0 +1,15 @@
+"""Module-level task functions for runner tests (pool workers pickle by
+reference, so these cannot live inside test functions)."""
+
+
+def square(spec):
+    return spec * spec
+
+
+def pair_with_draw(spec, rng):
+    """Seeded task: returns the spec and one draw from its private stream."""
+    return (spec, float(rng.random()))
+
+
+def explode(spec):
+    raise ValueError(f"task {spec} exploded")

@@ -1,0 +1,62 @@
+"""Tests for the EmuBee waveform template caches."""
+
+import numpy as np
+import pytest
+
+from repro.phy.emulation import (
+    WaveformEmulator,
+    default_emulator,
+    emulate_template,
+)
+
+
+class TestDesignCache:
+    def test_memoized_identity(self):
+        emulator = WaveformEmulator()
+        chips = np.array([0, 1, 1, 0, 1, 0, 0, 1], dtype=np.uint8)
+        a = emulator.design_from_chips(chips)
+        b = emulator.design_from_chips(chips.copy())
+        assert a is b
+
+    def test_readonly(self):
+        chips = np.array([0, 1, 0, 1], dtype=np.uint8)
+        wf = WaveformEmulator().design_from_chips(chips)
+        with pytest.raises(ValueError):
+            wf[0] = 0.0
+
+    def test_offset_partitions_cache(self):
+        emulator = WaveformEmulator()
+        chips = np.array([1, 0, 1, 0], dtype=np.uint8)
+        assert emulator.design_from_chips(chips) is not emulator.design_from_chips(
+            chips, offset_hz=1e6
+        )
+
+    def test_matches_direct_modulation(self):
+        from repro.phy import zigbee
+
+        chips = zigbee.spread([7, 2])
+        wf = WaveformEmulator().design_from_chips(chips)
+        np.testing.assert_array_equal(
+            wf, zigbee.oqpsk_modulate(chips, zigbee.DEFAULT_SAMPLES_PER_CHIP)
+        )
+
+
+class TestTemplateCache:
+    def test_default_emulator_shared(self):
+        assert default_emulator() is default_emulator()
+
+    def test_template_memoized(self):
+        assert emulate_template(b"\x12\x34") is emulate_template(b"\x12\x34")
+
+    def test_template_matches_fresh_pipeline(self):
+        cached = emulate_template(b"\xde\xad")
+        fresh = WaveformEmulator().emulate_bytes(b"\xde\xad")
+        assert cached.alpha == fresh.alpha
+        assert cached.payload == fresh.payload
+        np.testing.assert_array_equal(cached.emulated, fresh.emulated)
+        assert cached.chip_error_rate == fresh.chip_error_rate
+
+    def test_template_arrays_readonly(self):
+        result = emulate_template(b"\x01\x02")
+        with pytest.raises(ValueError):
+            result.emulated[0] = 0.0

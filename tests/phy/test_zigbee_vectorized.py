@@ -1,0 +1,130 @@
+"""Vectorized O-QPSK paths are sample-exact against the scalar reference.
+
+The shipped ``oqpsk_modulate``/``oqpsk_demodulate`` are stride/reshape
+NumPy implementations; these property tests pin them against the original
+per-chip-pair Python loops (reproduced here verbatim as references) over
+random chip streams and ``samples_per_chip`` values.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.phy import zigbee as Z
+from repro.phy.bits import as_bits
+
+
+def scalar_oqpsk_modulate(chips, samples_per_chip):
+    """The pre-vectorization per-pair loop, kept as ground truth."""
+    arr = as_bits(chips)
+    levels = 1.0 - 2.0 * arr.astype(np.float64)
+    pulse = np.array(Z.half_sine_pulse(samples_per_chip))
+    pulse_len = pulse.size
+    n_pairs = arr.size // 2
+    total = (2 * n_pairs + 1) * samples_per_chip + samples_per_chip
+    i_branch = np.zeros(total, dtype=np.float64)
+    q_branch = np.zeros(total, dtype=np.float64)
+    for p in range(n_pairs):
+        start = 2 * p * samples_per_chip
+        i_branch[start : start + pulse_len] += levels[2 * p] * pulse
+        q_start = start + samples_per_chip
+        q_branch[q_start : q_start + pulse_len] += levels[2 * p + 1] * pulse
+    waveform = i_branch + 1j * q_branch
+    waveform = waveform[: 2 * n_pairs * samples_per_chip + samples_per_chip]
+    rms = np.sqrt(np.mean(np.abs(waveform) ** 2))
+    if rms > 0:
+        waveform = waveform / rms
+    return waveform
+
+
+def scalar_oqpsk_demodulate(waveform, samples_per_chip):
+    """The pre-vectorization matched-filter loop, kept as ground truth."""
+    wf = np.asarray(waveform, dtype=np.complex128).ravel()
+    pulse = np.array(Z.half_sine_pulse(samples_per_chip))
+    pulse_len = pulse.size
+    n_pairs = (wf.size - samples_per_chip) // (2 * samples_per_chip)
+    chips = np.empty(2 * n_pairs, dtype=np.uint8)
+    for p in range(n_pairs):
+        start = 2 * p * samples_per_chip
+        seg_i = wf.real[start : start + pulse_len]
+        corr_i = float(seg_i @ pulse[: seg_i.size])
+        q_start = start + samples_per_chip
+        seg_q = wf.imag[q_start : q_start + pulse_len]
+        corr_q = float(seg_q @ pulse[: seg_q.size])
+        chips[2 * p] = 0 if corr_i >= 0 else 1
+        chips[2 * p + 1] = 0 if corr_q >= 0 else 1
+    return chips
+
+
+chip_streams = st.lists(st.integers(0, 1), min_size=2, max_size=160).map(
+    lambda bits: np.array(bits[: len(bits) - len(bits) % 2], dtype=np.uint8)
+)
+spc_values = st.integers(min_value=1, max_value=12)
+
+
+class TestModulateExactness:
+    @given(chips=chip_streams, spc=spc_values)
+    @settings(max_examples=60, deadline=None)
+    def test_sample_exact(self, chips, spc):
+        vec = Z.oqpsk_modulate(chips, spc)
+        ref = scalar_oqpsk_modulate(chips, spc)
+        assert vec.shape == ref.shape
+        assert np.array_equal(vec, ref)  # bit-identical, not just close
+
+    def test_default_samples_per_chip(self):
+        chips = Z.spread(Z.bytes_to_symbols(b"\xa5\x0f\x33"))
+        assert np.array_equal(
+            Z.oqpsk_modulate(chips),
+            scalar_oqpsk_modulate(chips, Z.DEFAULT_SAMPLES_PER_CHIP),
+        )
+
+
+class TestDemodulateExactness:
+    @given(
+        chips=chip_streams,
+        spc=spc_values,
+        noise_seed=st.integers(0, 2**31 - 1),
+        snr=st.sampled_from([0.0, 0.1, 0.5, 1.0]),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_hard_decisions_match(self, chips, spc, noise_seed, snr):
+        wf = Z.oqpsk_modulate(chips, spc)
+        rng = np.random.default_rng(noise_seed)
+        noisy = wf + snr * (
+            rng.standard_normal(wf.size) + 1j * rng.standard_normal(wf.size)
+        )
+        assert np.array_equal(
+            Z.oqpsk_demodulate(noisy, spc), scalar_oqpsk_demodulate(noisy, spc)
+        )
+
+    @given(chips=chip_streams, spc=spc_values)
+    @settings(max_examples=40, deadline=None)
+    def test_clean_roundtrip(self, chips, spc):
+        wf = Z.oqpsk_modulate(chips, spc)
+        out = Z.oqpsk_demodulate(wf, spc)
+        assert np.array_equal(out[: chips.size], chips)
+
+    def test_trailing_padding_tolerated(self):
+        chips = Z.spread([3, 9, 12])
+        wf = Z.oqpsk_modulate(chips, 4)
+        padded = np.concatenate([wf, np.zeros(17, dtype=np.complex128)])
+        assert np.array_equal(
+            Z.oqpsk_demodulate(padded, 4), scalar_oqpsk_demodulate(padded, 4)
+        )
+
+
+class TestPulseCache:
+    def test_memoized_identity(self):
+        assert Z.half_sine_pulse(10) is Z.half_sine_pulse(10)
+
+    def test_cached_pulse_is_readonly(self):
+        pulse = Z.half_sine_pulse(10)
+        with pytest.raises(ValueError):
+            pulse[0] = 0.0
+
+    def test_validation_still_raised(self):
+        from repro.errors import EncodingError
+
+        with pytest.raises(EncodingError):
+            Z.half_sine_pulse(0)

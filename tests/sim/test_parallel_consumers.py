@@ -1,0 +1,103 @@
+"""Worker-count invariance of the ported Monte-Carlo consumers.
+
+Every consumer on the execution layer must produce identical aggregate
+results for ``REPRO_WORKERS=1`` and ``REPRO_WORKERS=4`` (small budgets
+here; the full-budget versions run in ``benchmarks/``).
+"""
+
+import pytest
+
+from repro.analysis import figures as F
+from repro.sim.testbed import Testbed, TestbedConfig
+
+
+def _with_workers(monkeypatch, workers, fn):
+    monkeypatch.setenv("REPRO_WORKERS", str(workers))
+    return fn()
+
+
+class TestDistanceSweep:
+    def test_worker_count_invariance(self, monkeypatch):
+        def sweep():
+            tb = Testbed(TestbedConfig(num_peripherals=2), seed=11)
+            return tb.distance_sweep((2, 6, 12), frames_per_node=8)
+
+        serial = _with_workers(monkeypatch, 1, sweep)
+        pooled = _with_workers(monkeypatch, 4, sweep)
+        assert serial == pooled
+
+    def test_explicit_workers_argument(self):
+        tb = Testbed(TestbedConfig(num_peripherals=2), seed=11)
+        a = tb.distance_sweep((2, 12), frames_per_node=8, workers=1)
+        b = tb.distance_sweep((2, 12), frames_per_node=8, workers=2)
+        assert a == b
+
+    def test_rows_cover_distances(self):
+        tb = Testbed(seed=0)
+        rows = tb.distance_sweep((1, 5), frames_per_node=4, workers=1)
+        assert [r[0] for r in rows] == [1.0, 5.0]
+        for _, per, tput in rows:
+            assert 0.0 <= per <= 100.0
+            assert tput >= 0.0
+
+    def test_deterministic_given_seed(self):
+        a = Testbed(seed=3).distance_sweep((4, 9), frames_per_node=6, workers=1)
+        b = Testbed(seed=3).distance_sweep((4, 9), frames_per_node=6, workers=1)
+        assert a == b
+
+
+class TestParameterSweeps:
+    AXES = dict(
+        lj_values=(10.0, 60.0),
+        cycle_values=(3, 6),
+        lh_values=(0.0, 50.0),
+        lp_lower_values=(6, 9),
+    )
+
+    def test_worker_count_invariance(self, monkeypatch):
+        def sweeps():
+            F.parameter_sweeps.cache_clear()
+            return F.parameter_sweeps("max", 300, 0, *[
+                self.AXES[k]
+                for k in ("lj_values", "cycle_values", "lh_values", "lp_lower_values")
+            ])
+
+        serial = _with_workers(monkeypatch, 1, sweeps)
+        pooled = _with_workers(monkeypatch, 4, sweeps)
+        assert set(serial) == set(pooled)
+        for name in serial:
+            assert serial[name] == pooled[name], name
+        F.parameter_sweeps.cache_clear()
+
+    def test_stable_across_processes_seeding(self):
+        """Sweep streams no longer depend on PYTHONHASHSEED (builtin hash)."""
+        from repro.core.mdp import MDPConfig
+        from repro.rng import stable_hash
+
+        cfg = MDPConfig(loss_jam=50.0, jammer_mode="max")
+        assert stable_hash(cfg) == stable_hash(
+            MDPConfig(loss_jam=50.0, jammer_mode="max")
+        )
+        assert stable_hash(cfg) != stable_hash(
+            MDPConfig(loss_jam=60.0, jammer_mode="max")
+        )
+
+
+class TestFig11Parallel:
+    def test_fig11a_worker_count_invariance(self, monkeypatch):
+        serial = _with_workers(
+            monkeypatch, 1, lambda: F.fig11a_scheme_comparison(slots=40, seed=0)
+        )
+        pooled = _with_workers(
+            monkeypatch, 4, lambda: F.fig11a_scheme_comparison(slots=40, seed=0)
+        )
+        assert serial == pooled
+        assert set(serial) == {"PSV FH", "Rand FH", "RL FH (optimal)", "w/o Jx"}
+
+    def test_fig11b_worker_count_invariance(self, monkeypatch):
+        call = lambda: F.fig11b_jammer_timeslot(
+            durations=(0.5, 3.0), slots=30, seed=0
+        )
+        assert _with_workers(monkeypatch, 1, call) == _with_workers(
+            monkeypatch, 4, call
+        )
