@@ -6,7 +6,6 @@ it: the observation history length I, Double-DQN bootstrapping and soft
 target updates. Budgets scale with REPRO_DQN_EPISODES.
 """
 
-import pytest
 from conftest import DQN_EPISODES, run_once
 
 from repro.analysis.tables import render_table

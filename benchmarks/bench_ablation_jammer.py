@@ -8,7 +8,7 @@ the exact MDP optimum (hops uniformly — no pattern to learn) and a
 channel-preferring victim (the kind a lightly-trained DQN becomes).
 """
 
-from conftest import BENCH_SLOTS, run_once
+from conftest import run_once
 
 from repro.analysis.tables import render_table
 from repro.core.envs import SweepJammingEnv

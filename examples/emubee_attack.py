@@ -22,7 +22,6 @@ import numpy as np
 
 from repro.analysis.tables import render_table
 from repro.channel.link import JammerSignalType
-from repro.constants import ZIGBEE_PREAMBLE
 from repro.jamming.detector import stealth_assessment
 from repro.phy import zigbee
 from repro.phy.emulation import WaveformEmulator, optimize_alpha

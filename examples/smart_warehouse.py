@@ -25,7 +25,6 @@ import argparse
 from repro.analysis.tables import render_table
 from repro.channel.link import JammerSignalType, LinkBudget
 from repro.constants import WIFI_TX_POWER_DBM, ZIGBEE_TX_POWER_DBM
-from repro.core.mdp import MDPConfig
 from repro.sim.field import FieldConfig, FieldExperiment, StatePolicyAdapter
 from repro.sim.scenario import field_jammer_config, paper_defaults, scheme_policy
 

@@ -26,9 +26,34 @@ from repro.core.trainer import (
     train_dqn_multi_seed,
 )
 from repro.errors import ReproError
-from repro.exec import WORKERS_ENV, resolve_workers
+from repro.exec import (
+    MAX_RETRIES_ENV,
+    ON_ERROR_ENV,
+    ON_ERROR_MODES,
+    WORKERS_ENV,
+    resolve_workers,
+)
 from repro.nn.serialize import artifact_size_bytes, parameter_count, save_parameters
 from repro.phy.emulation import WaveformEmulator
+
+
+def _add_fault_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--on-error",
+        choices=ON_ERROR_MODES,
+        default=None,
+        help="what to do when a pool task fails (overrides REPRO_ON_ERROR): "
+        "'raise' aborts the sweep, 'retry' re-dispatches the task (same "
+        "seed, bit-identical result), 'skip' salvages completed results "
+        "and drops the failed points",
+    )
+    parser.add_argument(
+        "--max-retries",
+        type=int,
+        default=None,
+        help="re-dispatch attempts per task under --on-error retry/skip "
+        "(overrides REPRO_MAX_RETRIES)",
+    )
 
 
 def _mdp_config(args: argparse.Namespace) -> MDPConfig:
@@ -69,15 +94,25 @@ def cmd_solve(args: argparse.Namespace) -> int:
     return 0
 
 
-def _apply_workers(args: argparse.Namespace) -> None:
-    """Propagate ``--workers`` to the execution layer via REPRO_WORKERS."""
+def _apply_exec_options(args: argparse.Namespace) -> None:
+    """Propagate execution-layer flags to the ``REPRO_*`` environment.
+
+    The library's sweep entry points build their runner configuration from
+    the environment, so the CLI flags (``--workers``, ``--on-error``,
+    ``--max-retries``) are exported rather than threaded through every
+    call signature.
+    """
     if getattr(args, "workers", None) is not None:
         os.environ[WORKERS_ENV] = str(args.workers)
+    if getattr(args, "on_error", None) is not None:
+        os.environ[ON_ERROR_ENV] = str(args.on_error)
+    if getattr(args, "max_retries", None) is not None:
+        os.environ[MAX_RETRIES_ENV] = str(args.max_retries)
 
 
 def cmd_train(args: argparse.Namespace) -> int:
     config = _mdp_config(args)
-    _apply_workers(args)
+    _apply_exec_options(args)
     trainer_cfg = TrainerConfig(episodes=args.episodes, steps_per_episode=args.steps)
     if args.num_seeds > 1:
         seeds = tuple(args.seed + i for i in range(args.num_seeds))
@@ -136,7 +171,7 @@ def cmd_train(args: argparse.Namespace) -> int:
 
 def cmd_figure(args: argparse.Namespace) -> int:
     name = args.name
-    _apply_workers(args)
+    _apply_exec_options(args)
     if name == "2b":
         rows = figures_mod.fig2b_jamming_effect()
         table = [
@@ -292,6 +327,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="process-pool size for parallel stages (overrides REPRO_WORKERS; "
         "'auto' = one per CPU)",
     )
+    _add_fault_args(p)
     p.add_argument("--save", help="path for the .npz parameter artifact")
     p.set_defaults(func=cmd_train)
 
@@ -307,6 +343,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="process-pool size for the sweep fan-out (overrides "
         "REPRO_WORKERS; 'auto' = one per CPU)",
     )
+    _add_fault_args(p)
     p.add_argument(
         "--train-rl",
         action="store_true",

@@ -17,7 +17,7 @@ from repro.core.envs import SweepJammingEnv
 from repro.core.mdp import MDPConfig
 from repro.core.metrics import MetricSummary, SlotLog
 from repro.errors import TrainingError
-from repro.exec import ParallelRunner
+from repro.exec import FaultPolicy, ParallelRunner, TaskFailure
 from repro.rng import SeedLike, derive
 
 
@@ -126,10 +126,16 @@ def train_dqn(
 
 @dataclass(frozen=True)
 class MultiSeedResult:
-    """Per-seed training runs plus cross-seed aggregates."""
+    """Per-seed training runs plus cross-seed aggregates.
+
+    ``seeds`` and ``results`` are aligned and hold only the runs that
+    completed; seeds lost under ``on_error="skip"`` are recorded in
+    ``failures`` as :class:`repro.exec.TaskFailure` sentinels.
+    """
 
     seeds: tuple[int, ...]
     results: tuple[TrainingResult, ...]
+    failures: tuple[TaskFailure, ...] = ()
 
     @property
     def final_rewards(self) -> np.ndarray:
@@ -169,23 +175,41 @@ def train_dqn_multi_seed(
     dqn: DQNConfig | None = None,
     history_length: int = 5,
     workers: int | str | None = None,
+    policy: FaultPolicy | None = None,
 ) -> MultiSeedResult:
     """Train one DQN per seed, fanning the runs out over a process pool.
 
     Each run is fully determined by its own seed (environment and agent
     streams both derive from it), so results are identical for any
     ``workers`` setting — ``REPRO_WORKERS=1`` reproduces the serial loop
-    bit for bit.
+    bit for bit, and a retried run reproduces a first-try run exactly.
+
+    ``policy`` (default: the ``REPRO_ON_ERROR``/``REPRO_MAX_RETRIES``
+    environment) governs worker faults: with ``on_error="skip"`` the runs
+    that crashed permanently are dropped from ``seeds``/``results`` and
+    reported in :attr:`MultiSeedResult.failures` instead of sinking the
+    surviving seeds; all seeds failing raises :class:`TrainingError`.
     """
     seed_list = tuple(int(s) for s in seeds)
     if not seed_list:
         raise TrainingError("need at least one seed")
-    runner = ParallelRunner(workers, name="train_dqn_multi_seed.map")
-    results = runner.map(
+    runner = ParallelRunner(workers, name="train_dqn_multi_seed.map", policy=policy)
+    raw = runner.map(
         _train_task,
         [(env_config, trainer, dqn, history_length, s) for s in seed_list],
     )
-    return MultiSeedResult(seeds=seed_list, results=tuple(results))
+    failures = tuple(r for r in raw if isinstance(r, TaskFailure))
+    kept = [(s, r) for s, r in zip(seed_list, raw) if not isinstance(r, TaskFailure)]
+    if not kept:
+        raise TrainingError(
+            f"all {len(seed_list)} training seeds failed; first failure "
+            f"({failures[0].error_type}):\n{failures[0].traceback}"
+        )
+    return MultiSeedResult(
+        seeds=tuple(s for s, _ in kept),
+        results=tuple(r for _, r in kept),
+        failures=failures,
+    )
 
 
 def evaluate_dqn(

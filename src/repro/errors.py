@@ -15,6 +15,10 @@ class ConfigurationError(ReproError):
     """A configuration object is internally inconsistent or out of range."""
 
 
+class ExecutionError(ReproError):
+    """A dispatched task failed permanently (timeout or exhausted retries)."""
+
+
 class PhyError(ReproError):
     """Base class for physical-layer errors."""
 

@@ -1,11 +1,34 @@
-"""Execution layer: parallel Monte-Carlo dispatch and stage timing.
+"""Execution layer: parallel Monte-Carlo dispatch, fault tolerance, timing.
 
 ``ParallelRunner`` fans independent seeded experiments out over a process
-pool (``REPRO_WORKERS``); :mod:`repro.exec.timing` accumulates per-stage
-wall-clock totals and snapshots them as ``BENCH_<name>.json`` artifacts.
+pool (``REPRO_WORKERS``); :mod:`repro.exec.faults` supplies per-task
+retry/timeout/skip semantics (``REPRO_ON_ERROR``, ``REPRO_MAX_RETRIES``,
+``REPRO_TASK_TIMEOUT``) plus a deterministic fault injector
+(``REPRO_FAULT_RATE``); :mod:`repro.exec.timing` accumulates per-stage
+wall-clock and fault counts and snapshots them as ``BENCH_<name>.json``
+artifacts.
 """
 
-from repro.exec.runner import ParallelRunner, WORKERS_ENV, parallel_map, resolve_workers
+from repro.exec.faults import (
+    FAULT_RATE_ENV,
+    FAULT_SEED_ENV,
+    MAX_RETRIES_ENV,
+    ON_ERROR_ENV,
+    ON_ERROR_MODES,
+    TIMEOUT_ENV,
+    FaultCounters,
+    FaultPolicy,
+    InjectedFault,
+    TaskFailure,
+    maybe_inject_fault,
+    run_with_faults,
+)
+from repro.exec.runner import (
+    WORKERS_ENV,
+    ParallelRunner,
+    parallel_map,
+    resolve_workers,
+)
 from repro.exec.timing import (
     BENCH_DIR_ENV,
     REGISTRY,
@@ -22,6 +45,18 @@ __all__ = [
     "WORKERS_ENV",
     "parallel_map",
     "resolve_workers",
+    "FAULT_RATE_ENV",
+    "FAULT_SEED_ENV",
+    "MAX_RETRIES_ENV",
+    "ON_ERROR_ENV",
+    "ON_ERROR_MODES",
+    "TIMEOUT_ENV",
+    "FaultCounters",
+    "FaultPolicy",
+    "InjectedFault",
+    "TaskFailure",
+    "maybe_inject_fault",
+    "run_with_faults",
     "BENCH_DIR_ENV",
     "REGISTRY",
     "StageStats",

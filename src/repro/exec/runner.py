@@ -14,17 +14,29 @@ Worker-count resolution (first match wins):
 
 1. an explicit ``workers=`` argument,
 2. the ``REPRO_WORKERS`` environment variable (``auto`` or ``0`` means
-   one worker per CPU),
+   one worker per CPU; empty/whitespace-only counts as unset),
 3. serial (1 worker).
+
+Failure semantics are governed by a :class:`repro.exec.faults.FaultPolicy`
+(``policy=`` argument, defaulting to the ``REPRO_ON_ERROR`` /
+``REPRO_MAX_RETRIES`` / ``REPRO_TASK_TIMEOUT`` / ``REPRO_FAULT_RATE``
+environment): per-task retries re-dispatch the identical payload (so
+retried results are bit-identical), ``on_error="skip"`` salvages partial
+sweeps as :class:`repro.exec.faults.TaskFailure` sentinels, and a broken
+pool degrades to serial execution instead of discarding completed work.
+Retry/failure/timeout counts land in the timing registry and hence in the
+``BENCH_*.json`` artifacts.
 """
 
 from __future__ import annotations
 
 import os
+import time
 from concurrent.futures import ProcessPoolExecutor
 from typing import Any, Callable, Iterable, Sequence
 
 from repro.errors import ConfigurationError
+from repro.exec.faults import FaultCounters, FaultPolicy, run_with_faults
 from repro.exec.timing import REGISTRY, TimingRegistry
 from repro.rng import SeedLike, derive
 
@@ -38,7 +50,11 @@ def resolve_workers(workers: int | str | None = None) -> int:
         workers = os.environ.get(WORKERS_ENV, 1)
     if isinstance(workers, str):
         text = workers.strip().lower()
-        if text == "auto":
+        if not text:
+            # Empty/whitespace-only REPRO_WORKERS counts as unset (serial),
+            # not as a malformed integer.
+            workers = 1
+        elif text == "auto":
             workers = 0
         else:
             try:
@@ -71,11 +87,17 @@ class ParallelRunner:
     chunk_size:
         Specs per pool dispatch; ``None`` picks ``ceil(n / (4 * workers))``
         so each worker sees ~4 chunks (amortises pickling without
-        starving the tail).
+        starving the tail). Only the fault-intolerant fast path chunks;
+        an active fault policy dispatches per task so each task can be
+        retried, timed out, or skipped independently.
     name:
         Stage name recorded in the timing registry for each ``map`` call.
     registry:
         Timing registry to record into (the global one by default).
+    policy:
+        Fault policy; ``None`` defers to the ``REPRO_ON_ERROR`` /
+        ``REPRO_MAX_RETRIES`` / ``REPRO_TASK_TIMEOUT`` /
+        ``REPRO_FAULT_RATE`` environment (default: fail fast).
     """
 
     def __init__(
@@ -85,6 +107,7 @@ class ParallelRunner:
         chunk_size: int | None = None,
         name: str = "map",
         registry: TimingRegistry | None = None,
+        policy: FaultPolicy | None = None,
     ) -> None:
         self.workers = resolve_workers(workers)
         if chunk_size is not None and chunk_size < 1:
@@ -92,6 +115,7 @@ class ParallelRunner:
         self.chunk_size = chunk_size
         self.name = name
         self.registry = registry if registry is not None else REGISTRY
+        self.policy = policy if policy is not None else FaultPolicy.from_env()
 
     def _chunksize(self, n_specs: int, workers: int) -> int:
         if self.chunk_size is not None:
@@ -103,11 +127,10 @@ class ParallelRunner:
 
         ``task_fn`` must be a module-level callable and specs picklable
         when more than one worker is in play; the serial path has no such
-        constraint.
+        constraint. Under ``policy.on_error == "skip"``, failed specs
+        yield :class:`repro.exec.faults.TaskFailure` sentinels in place.
         """
-        spec_list = list(specs)
-        with self.registry.stage(self.name, items=len(spec_list)):
-            return self._dispatch(task_fn, spec_list)
+        return self._timed_dispatch(task_fn, list(specs))
 
     def map_seeded(
         self,
@@ -120,25 +143,48 @@ class ParallelRunner:
         """Like :meth:`map` but hands each task its own derived RNG.
 
         Task ``i`` receives ``derive(seed, f"{stream}[{i}]")`` — a stream
-        that depends only on ``(seed, stream, i)``, never on worker count
-        or dispatch order, so aggregates are reproducible by construction.
+        that depends only on ``(seed, stream, i)``, never on worker count,
+        dispatch order, or retry attempt, so aggregates are reproducible
+        by construction and a retried task is bit-identical to one that
+        succeeded first try.
         """
-        spec_list = list(specs)
         payloads = [
-            (task_fn, spec, seed, f"{stream}[{i}]")
-            for i, spec in enumerate(spec_list)
+            (task_fn, spec, seed, f"{stream}[{i}]") for i, spec in enumerate(specs)
         ]
-        with self.registry.stage(self.name, items=len(spec_list)):
-            return self._dispatch(_seeded_task, payloads)
+        return self._timed_dispatch(_seeded_task, payloads)
 
-    def _dispatch(self, task_fn: Callable[[Any], Any], specs: Sequence[Any]) -> list:
+    def _timed_dispatch(self, task_fn: Callable[[Any], Any], specs: list) -> list:
+        counters = FaultCounters()
+        start = time.perf_counter()
+        try:
+            return self._dispatch(task_fn, specs, counters)
+        finally:
+            self.registry.record(
+                self.name,
+                time.perf_counter() - start,
+                items=len(specs),
+                retries=counters.retries,
+                failures=counters.failures,
+                timeouts=counters.timeouts,
+            )
+
+    def _dispatch(
+        self,
+        task_fn: Callable[[Any], Any],
+        specs: Sequence[Any],
+        counters: FaultCounters,
+    ) -> list:
         workers = min(self.workers, len(specs))
-        if workers <= 1:
-            # Serial fallback: same function, same order, same process.
-            return [task_fn(spec) for spec in specs]
-        chunksize = self._chunksize(len(specs), workers)
-        with ProcessPoolExecutor(max_workers=workers) as pool:
-            return list(pool.map(task_fn, specs, chunksize=chunksize))
+        if self.policy.is_passthrough:
+            if workers <= 1:
+                # Serial fallback: same function, same order, same process.
+                return [task_fn(spec) for spec in specs]
+            chunksize = self._chunksize(len(specs), workers)
+            with ProcessPoolExecutor(max_workers=workers) as pool:
+                return list(pool.map(task_fn, specs, chunksize=chunksize))
+        return run_with_faults(
+            task_fn, specs, workers=workers, policy=self.policy, counters=counters
+        )
 
 
 def parallel_map(
@@ -147,9 +193,10 @@ def parallel_map(
     *,
     workers: int | str | None = None,
     name: str = "map",
+    policy: FaultPolicy | None = None,
 ) -> list:
     """One-shot convenience wrapper around :class:`ParallelRunner`."""
-    return ParallelRunner(workers, name=name).map(task_fn, specs)
+    return ParallelRunner(workers, name=name, policy=policy).map(task_fn, specs)
 
 
 __all__ = ["WORKERS_ENV", "resolve_workers", "ParallelRunner", "parallel_map"]

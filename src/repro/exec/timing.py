@@ -36,15 +36,28 @@ def bench_dir() -> Path:
 
 @dataclass
 class StageStats:
-    """Accumulated wall-clock of one named stage."""
+    """Accumulated wall-clock and fault counts of one named stage."""
 
     seconds: float = 0.0
     calls: int = 0
     #: Task count processed by the stage (e.g. sweep points), when known.
     items: int = 0
+    #: Task re-dispatches performed by the fault layer.
+    retries: int = 0
+    #: Tasks that failed permanently (raised or skipped as sentinels).
+    failures: int = 0
+    #: Per-task timeout events (each one also counts as a failed attempt).
+    timeouts: int = 0
 
     def as_dict(self) -> dict:
-        return {"seconds": self.seconds, "calls": self.calls, "items": self.items}
+        return {
+            "seconds": self.seconds,
+            "calls": self.calls,
+            "items": self.items,
+            "retries": self.retries,
+            "failures": self.failures,
+            "timeouts": self.timeouts,
+        }
 
 
 @dataclass
@@ -57,12 +70,24 @@ class TimingRegistry:
 
     stages: dict[str, StageStats] = field(default_factory=dict)
 
-    def record(self, name: str, seconds: float, *, items: int = 0) -> None:
-        """Add ``seconds`` (and optionally ``items`` processed) to a stage."""
+    def record(
+        self,
+        name: str,
+        seconds: float,
+        *,
+        items: int = 0,
+        retries: int = 0,
+        failures: int = 0,
+        timeouts: int = 0,
+    ) -> None:
+        """Add ``seconds`` (and optional task/fault counts) to a stage."""
         stats = self.stages.setdefault(name, StageStats())
         stats.seconds += float(seconds)
         stats.calls += 1
         stats.items += int(items)
+        stats.retries += int(retries)
+        stats.failures += int(failures)
+        stats.timeouts += int(timeouts)
 
     @contextmanager
     def stage(self, name: str, *, items: int = 0) -> Iterator[None]:
@@ -84,8 +109,13 @@ class TimingRegistry:
     def as_dict(self) -> dict:
         return {name: stats.as_dict() for name, stats in self.stages.items()}
 
-    def write_bench(self, name: str, *, directory: Path | str | None = None,
-                    extra: dict | None = None) -> Path:
+    def write_bench(
+        self,
+        name: str,
+        *,
+        directory: Path | str | None = None,
+        extra: dict | None = None,
+    ) -> Path:
         """Write the registry snapshot as ``BENCH_<name>.json``.
 
         Returns the path written. ``extra`` entries are merged into the
@@ -113,9 +143,24 @@ class TimingRegistry:
 REGISTRY = TimingRegistry()
 
 
-def record(name: str, seconds: float, *, items: int = 0) -> None:
+def record(
+    name: str,
+    seconds: float,
+    *,
+    items: int = 0,
+    retries: int = 0,
+    failures: int = 0,
+    timeouts: int = 0,
+) -> None:
     """Record into the global registry."""
-    REGISTRY.record(name, seconds, items=items)
+    REGISTRY.record(
+        name,
+        seconds,
+        items=items,
+        retries=retries,
+        failures=failures,
+        timeouts=timeouts,
+    )
 
 
 @contextmanager
@@ -125,8 +170,9 @@ def stage(name: str, *, items: int = 0) -> Iterator[None]:
         yield
 
 
-def write_bench(name: str, *, directory: Path | str | None = None,
-                extra: dict | None = None) -> Path:
+def write_bench(
+    name: str, *, directory: Path | str | None = None, extra: dict | None = None
+) -> Path:
     """Snapshot the global registry to ``BENCH_<name>.json``."""
     return REGISTRY.write_bench(name, directory=directory, extra=extra)
 

@@ -49,25 +49,78 @@ def unflatten_parameters(network: Network, flat: np.ndarray) -> None:
 
 
 def save_parameters(network: Network, path: str | os.PathLike) -> None:
-    """Write the deployable artifact: flat float32 params + shape manifest."""
+    """Write the deployable artifact: flat float32 params + shape manifest.
+
+    The manifest pads every shape row to the *maximum* ndim across the
+    network's parameters (not a hard-coded 2), so layers with 3-D+
+    parameters serialise correctly instead of building a ragged array.
+    """
+    params = network.parameters
+    max_ndim = max((p.ndim for p in params), default=0)
     shapes = np.array(
-        [list(p.shape) + [0] * (2 - p.ndim) for p in network.parameters],
+        [list(p.shape) + [0] * (max_ndim - p.ndim) for p in params],
         dtype=np.int64,
-    )
+    ).reshape(len(params), max_ndim)
     np.savez(
         path,
         flat=flatten_parameters(network),
         shapes=shapes,
-        ndims=np.array([p.ndim for p in network.parameters], dtype=np.int64),
+        ndims=np.array([p.ndim for p in params], dtype=np.int64),
     )
 
 
+def _manifest_shapes(
+    shapes: np.ndarray, ndims: np.ndarray, path: str | os.PathLike
+) -> list[tuple[int, ...]]:
+    """Decode the (padded-row, ndim) manifest back into per-layer shapes."""
+    if shapes.ndim != 2 or ndims.ndim != 1 or shapes.shape[0] != ndims.size:
+        raise ConfigurationError(
+            f"{os.fspath(path)}: corrupted shape manifest "
+            f"(shapes {shapes.shape}, ndims {ndims.shape})"
+        )
+    decoded: list[tuple[int, ...]] = []
+    for row, nd in zip(shapes, ndims):
+        nd = int(nd)
+        if nd < 0 or nd > row.size:
+            raise ConfigurationError(
+                f"{os.fspath(path)}: corrupted shape manifest "
+                f"(ndim {nd} outside padded row of {row.size})"
+            )
+        decoded.append(tuple(int(v) for v in row[:nd]))
+    return decoded
+
+
 def load_parameters(network: Network, path: str | os.PathLike) -> None:
-    """Load an artifact written by :func:`save_parameters` into ``network``."""
+    """Load an artifact written by :func:`save_parameters` into ``network``.
+
+    The saved shape manifest is validated against the target network's
+    per-layer geometry, so an artifact trained on a *different*
+    architecture that happens to share the total parameter count is
+    rejected instead of silently loading scrambled weights.
+    """
     with np.load(path) as data:
         if "flat" not in data:
             raise ConfigurationError(f"{path} is not a parameter artifact")
-        unflatten_parameters(network, data["flat"])
+        if "shapes" not in data or "ndims" not in data:
+            raise ConfigurationError(
+                f"{os.fspath(path)}: parameter artifact is missing its shape "
+                "manifest (corrupted or not written by save_parameters)"
+            )
+        flat = data["flat"]
+        manifest = _manifest_shapes(data["shapes"], data["ndims"], path)
+        expected = [p.shape for p in network.parameters]
+        if manifest != expected:
+            raise ConfigurationError(
+                f"{os.fspath(path)}: artifact geometry does not match the "
+                f"target network: artifact {manifest} vs network {expected}"
+            )
+        total = sum(int(np.prod(shape, dtype=np.int64)) for shape in manifest)
+        if total != flat.size:
+            raise ConfigurationError(
+                f"{os.fspath(path)}: artifact is corrupted — manifest "
+                f"describes {total} floats but the flat vector holds {flat.size}"
+            )
+        unflatten_parameters(network, flat)
 
 
 __all__ = [

@@ -22,7 +22,7 @@ from repro.channel.propagation import LogDistancePathLoss
 from repro.channel.spectrum import ZIGBEE_CHANNELS
 from repro.constants import WIFI_TX_POWER_DBM, ZIGBEE_TX_POWER_DBM
 from repro.errors import ConfigurationError
-from repro.exec import ParallelRunner
+from repro.exec import FaultPolicy, ParallelRunner, TaskFailure
 from repro.net.mac import CsmaConfig, CsmaMac
 from repro.phy.zigbee import BIT_RATE
 from repro.rng import SeedLike, derive, make_rng
@@ -204,6 +204,8 @@ class Testbed:
         *,
         frames_per_node: int = 30,
         workers: int | str | None = None,
+        on_error: str | None = None,
+        max_retries: int | None = None,
     ) -> list[tuple[float, float, float]]:
         """(distance, PER %, throughput kbps) for each jammer distance.
 
@@ -211,14 +213,20 @@ class Testbed:
         seeded from this one's seed and the distance, so the sweep fans out
         over :class:`repro.exec.ParallelRunner` (``workers`` argument or
         ``REPRO_WORKERS``) and the aggregate rows are identical for any
-        worker count.
+        worker count — including retried tasks, which re-derive the same
+        per-distance seed. ``on_error``/``max_retries`` override the
+        ``REPRO_ON_ERROR``/``REPRO_MAX_RETRIES`` environment; under
+        ``"skip"`` the rows of crashed points are dropped (partial sweep)
+        rather than aborting the whole experiment.
         """
-        runner = ParallelRunner(workers, name="distance_sweep.map")
+        policy = FaultPolicy.from_env(on_error=on_error, max_retries=max_retries)
+        runner = ParallelRunner(workers, name="distance_sweep.map", policy=policy)
         specs = [
             (self.config, self._seed, float(d), int(frames_per_node))
             for d in distances
         ]
-        return runner.map(_distance_point_task, specs)
+        rows = runner.map(_distance_point_task, specs)
+        return [row for row in rows if not isinstance(row, TaskFailure)]
 
 
 def _distance_point_task(spec: tuple) -> tuple[float, float, float]:

@@ -6,6 +6,7 @@ import pytest
 from repro.core.mdp import MDPConfig
 from repro.core.trainer import TrainerConfig, train_dqn, train_dqn_multi_seed
 from repro.errors import TrainingError
+from repro.exec import FaultPolicy, TaskFailure
 
 TINY = TrainerConfig(episodes=2, steps_per_episode=40)
 
@@ -52,3 +53,62 @@ class TestMultiSeed:
     def test_empty_seeds_rejected(self):
         with pytest.raises(TrainingError):
             train_dqn_multi_seed(MDPConfig(), seeds=(), trainer=TINY)
+
+
+class TestMultiSeedFaults:
+    def test_retried_seeds_are_bit_identical(self):
+        clean = train_dqn_multi_seed(
+            MDPConfig(), seeds=(0, 1), trainer=TINY, workers=1
+        )
+        faulty = train_dqn_multi_seed(
+            MDPConfig(),
+            seeds=(0, 1),
+            trainer=TINY,
+            workers=1,
+            policy=FaultPolicy(
+                on_error="retry",
+                max_retries=6,
+                backoff_s=0.0,
+                fault_rate=0.4,
+                fault_seed=7,
+            ),
+        )
+        assert faulty.seeds == clean.seeds
+        assert faulty.failures == ()
+        for a, b in zip(faulty.results, clean.results):
+            np.testing.assert_array_equal(a.reward_history, b.reward_history)
+
+    def test_skip_salvages_surviving_seeds(self):
+        # fault_seed=2 at rate 0.5 fails exactly task index 0 (seed 0).
+        multi = train_dqn_multi_seed(
+            MDPConfig(),
+            seeds=(0, 1, 2),
+            trainer=TINY,
+            workers=1,
+            policy=FaultPolicy(
+                on_error="skip", max_retries=0, fault_rate=0.5, fault_seed=2
+            ),
+        )
+        assert multi.seeds == (1, 2)
+        assert len(multi.failures) == 1
+        failure = multi.failures[0]
+        assert isinstance(failure, TaskFailure)
+        assert failure.index == 0
+        assert failure.error_type == "InjectedFault"
+        # The survivors are untouched by the neighbour's crash.
+        solo = train_dqn(MDPConfig(), trainer=TINY, seed=1)
+        np.testing.assert_array_equal(
+            multi.results[0].reward_history, solo.reward_history
+        )
+
+    def test_all_seeds_failing_raises(self):
+        with pytest.raises(TrainingError, match="all 2 training seeds failed"):
+            train_dqn_multi_seed(
+                MDPConfig(),
+                seeds=(0, 1),
+                trainer=TINY,
+                workers=1,
+                policy=FaultPolicy(
+                    on_error="skip", max_retries=0, fault_rate=1.0
+                ),
+            )

@@ -28,6 +28,16 @@ class TestResolveWorkers:
     def test_zero_means_cpu_count(self):
         assert resolve_workers(0) == resolve_workers("auto")
 
+    def test_empty_env_means_unset(self, monkeypatch):
+        # `REPRO_WORKERS= python ...` must behave like the var was absent,
+        # not die with "invalid literal for int()".
+        monkeypatch.setenv("REPRO_WORKERS", "")
+        assert resolve_workers() == 1
+
+    def test_whitespace_env_means_unset(self, monkeypatch):
+        monkeypatch.setenv("REPRO_WORKERS", "   ")
+        assert resolve_workers() == 1
+
     def test_invalid_string(self):
         with pytest.raises(ConfigurationError):
             resolve_workers("many")
@@ -76,9 +86,7 @@ class TestMap:
         assert runner.map(tasks.square, range(10)) == [i * i for i in range(10)]
 
     def test_parallel_map_convenience(self):
-        assert parallel_map(tasks.square, range(5), workers=2) == [
-            0, 1, 4, 9, 16
-        ]
+        assert parallel_map(tasks.square, range(5), workers=2) == [0, 1, 4, 9, 16]
 
 
 class TestSeededMap:

@@ -17,6 +17,15 @@ class TestRegistry:
         assert stats.calls == 2
         assert stats.items == 15
 
+    def test_record_fault_counts(self):
+        reg = TimingRegistry()
+        reg.record("sweep", 1.0, items=4, retries=2, failures=1, timeouts=1)
+        reg.record("sweep", 1.0, retries=1)
+        stats = reg.stages["sweep"]
+        assert stats.retries == 3
+        assert stats.failures == 1
+        assert stats.timeouts == 1
+
     def test_stage_context_times_block(self):
         reg = TimingRegistry()
         with reg.stage("nap"):
@@ -54,6 +63,15 @@ class TestBenchArtifacts:
         assert doc["stages"]["parameter_sweeps"]["seconds"] == 2.25
         assert doc["stages"]["parameter_sweeps"]["items"] == 44
         assert "python" in doc and "cpu_count" in doc
+
+    def test_fault_counts_reach_bench_json(self, tmp_path):
+        reg = TimingRegistry()
+        reg.record("sweep", 1.0, items=8, retries=3, failures=1, timeouts=2)
+        doc = json.loads(reg.write_bench("faults", directory=tmp_path).read_text())
+        stage = doc["stages"]["sweep"]
+        assert stage["retries"] == 3
+        assert stage["failures"] == 1
+        assert stage["timeouts"] == 2
 
     def test_write_bench_extra_fields(self, tmp_path):
         reg = TimingRegistry()

@@ -5,7 +5,7 @@ import pytest
 
 from repro.core.baselines import NoDefensePolicy
 from repro.core.envs import SweepJammingEnv
-from repro.core.mdp import Action, MDPConfig
+from repro.core.mdp import MDPConfig
 from repro.core.metrics import evaluate_policy
 from repro.core.policy import ThresholdPolicy
 from repro.errors import ConfigurationError

@@ -10,7 +10,6 @@ from repro.errors import ConfigurationError
 from repro.net.energy import (
     DEFAULT_LEVEL_POWERS_MW,
     EnergyModel,
-    EnergyReport,
     energy_of_run,
 )
 

@@ -6,11 +6,9 @@ import pytest
 from repro.errors import ConfigurationError
 from repro.nn import (
     Adam,
-    Dense,
     HuberLoss,
     MeanSquaredError,
     Network,
-    ReLU,
     SGD,
     load_parameters,
     mlp,

@@ -7,7 +7,6 @@ from hypothesis import strategies as st
 
 from repro.errors import DecodingError, EncodingError
 from repro.phy import preamble as P
-from repro.phy import ofdm
 
 
 class TestTrainingFields:

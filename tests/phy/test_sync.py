@@ -1,7 +1,6 @@
 """Tests for ZigBee frame synchronisation over chip streams."""
 
 import numpy as np
-import pytest
 
 from repro.phy import sync as S
 from repro.phy import zigbee

@@ -7,7 +7,6 @@ from hypothesis import strategies as st
 
 from repro.errors import DecodingError, EncodingError
 from repro.phy import ofdm
-from repro.phy.bits import flip_bits, bytes_to_bits, bits_to_bytes
 from repro.phy.wifi import RATES, WifiPhy, WifiPhyConfig
 
 

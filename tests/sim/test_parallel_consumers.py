@@ -5,8 +5,6 @@ results for ``REPRO_WORKERS=1`` and ``REPRO_WORKERS=4`` (small budgets
 here; the full-budget versions run in ``benchmarks/``).
 """
 
-import pytest
-
 from repro.analysis import figures as F
 from repro.sim.testbed import Testbed, TestbedConfig
 
@@ -95,9 +93,55 @@ class TestFig11Parallel:
         assert set(serial) == {"PSV FH", "Rand FH", "RL FH (optimal)", "w/o Jx"}
 
     def test_fig11b_worker_count_invariance(self, monkeypatch):
-        call = lambda: F.fig11b_jammer_timeslot(
-            durations=(0.5, 3.0), slots=30, seed=0
-        )
+        def call():
+            return F.fig11b_jammer_timeslot(durations=(0.5, 3.0), slots=30, seed=0)
+
         assert _with_workers(monkeypatch, 1, call) == _with_workers(
             monkeypatch, 4, call
         )
+
+
+class TestFaultInjectedConsumers:
+    """Injected worker crashes must not change (retry) or sink (skip) a sweep."""
+
+    DISTANCES = (2, 6, 12)
+
+    def _sweep(self, **kwargs):
+        tb = Testbed(TestbedConfig(num_peripherals=2), seed=11)
+        return tb.distance_sweep(self.DISTANCES, frames_per_node=8, **kwargs)
+
+    def _clear_fault_env(self, monkeypatch):
+        for name in (
+            "REPRO_FAULT_RATE",
+            "REPRO_FAULT_SEED",
+            "REPRO_ON_ERROR",
+            "REPRO_MAX_RETRIES",
+            "REPRO_WORKERS",
+        ):
+            monkeypatch.delenv(name, raising=False)
+
+    def test_retry_matches_fault_free_run(self, monkeypatch):
+        self._clear_fault_env(monkeypatch)
+        clean = self._sweep(workers=1)
+        monkeypatch.setenv("REPRO_FAULT_RATE", "0.4")
+        monkeypatch.setenv("REPRO_FAULT_SEED", "7")
+        for workers in (1, 2):
+            faulty = self._sweep(
+                workers=workers, on_error="retry", max_retries=6
+            )
+            assert faulty == clean
+
+    def test_skip_salvages_surviving_rows(self, monkeypatch):
+        self._clear_fault_env(monkeypatch)
+        clean = self._sweep(workers=1)
+        # fault_seed=2 at rate 0.5 fails exactly index 0 on its only attempt.
+        monkeypatch.setenv("REPRO_FAULT_RATE", "0.5")
+        monkeypatch.setenv("REPRO_FAULT_SEED", "2")
+        rows = self._sweep(workers=1, on_error="skip", max_retries=0)
+        assert rows == clean[1:]
+
+    def test_all_faults_skip_yields_empty_sweep(self, monkeypatch):
+        self._clear_fault_env(monkeypatch)
+        monkeypatch.setenv("REPRO_FAULT_RATE", "1.0")
+        rows = self._sweep(workers=1, on_error="skip", max_retries=1)
+        assert rows == []
