@@ -21,6 +21,7 @@ import pytest
 
 from repro.exec import timing
 from repro.exec.runner import resolve_workers
+from repro.obs import trace as obs_trace
 
 RESULTS_DIR = Path(__file__).parent / "results"
 
@@ -67,7 +68,7 @@ def run_once(benchmark, fn, *args, **kwargs):
     the per-stage perf trajectory artifact for this benchmark run.
     """
     name = fn.__name__
-    with timing.REGISTRY.stage(name):
+    with obs_trace.span(f"bench/{name}"), timing.REGISTRY.stage(name):
         result = benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)
     timing.write_bench(
         name,

@@ -16,6 +16,7 @@ from repro.channel.link import Interferer, JammerSignalType, LinkBudget
 from repro.channel.propagation import LogDistancePathLoss, distance
 from repro.channel.spectrum import zigbee_channel_frequency_mhz
 from repro.errors import ChannelError
+from repro.obs.metrics import METRICS
 from repro.rng import SeedLike, make_rng
 
 
@@ -145,6 +146,10 @@ class Medium:
         )
         per = self.link_budget.packet_error_rate(signal, packet_octets, interferers)
         delivered = bool(self._rng.random() >= per)
+        METRICS.inc("phy.frames")
+        if not delivered:
+            # A lost frame surfaces at the receiver as an FCS/CRC failure.
+            METRICS.inc("phy.crc_failures")
         return delivered, per
 
 

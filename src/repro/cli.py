@@ -6,6 +6,12 @@ Commands
 ``train``    Train the DQN, report metrics, optionally save the artifact.
 ``figure``   Regenerate one of the paper's figures as an ASCII table.
 ``emulate``  Run the EmuBee emulation pipeline on a hex payload.
+``obs``      Summarise a ``RUN_<name>.jsonl`` observability trace.
+
+Results (tables, figures, emulation output) go to stdout; status chatter
+goes through the :mod:`repro.obs.log` structured logger on stderr and can
+be silenced with the global ``--quiet`` flag. With ``REPRO_TRACE`` set,
+every command writes a JSONL trace readable by ``repro obs``.
 """
 
 from __future__ import annotations
@@ -33,8 +39,13 @@ from repro.exec import (
     WORKERS_ENV,
     resolve_workers,
 )
+from repro.exec import timing
 from repro.nn.serialize import artifact_size_bytes, parameter_count, save_parameters
+from repro.obs import log as obs_log
+from repro.obs import trace as obs_trace
 from repro.phy.emulation import WaveformEmulator
+
+log = obs_log.get_logger("cli")
 
 
 def _add_fault_args(parser: argparse.ArgumentParser) -> None:
@@ -116,10 +127,12 @@ def cmd_train(args: argparse.Namespace) -> int:
     trainer_cfg = TrainerConfig(episodes=args.episodes, steps_per_episode=args.steps)
     if args.num_seeds > 1:
         seeds = tuple(args.seed + i for i in range(args.num_seeds))
-        print(
-            f"training {args.num_seeds} DQNs (seeds {seeds[0]}..{seeds[-1]}) "
-            f"against the {config.jammer_mode}-power jammer "
-            f"on {resolve_workers()} worker(s) ..."
+        log.info(
+            "training multi-seed DQNs",
+            num_seeds=args.num_seeds,
+            seeds=f"{seeds[0]}..{seeds[-1]}",
+            jammer_mode=config.jammer_mode,
+            workers=resolve_workers(),
         )
         multi = train_dqn_multi_seed(config, seeds=seeds, trainer=trainer_cfg)
         print(
@@ -135,17 +148,19 @@ def cmd_train(args: argparse.Namespace) -> int:
         )
         result = multi.best()
     else:
-        print(f"training DQN against the {config.jammer_mode}-power jammer ...")
+        log.info("training DQN", jammer_mode=config.jammer_mode, seed=args.seed)
         result = train_dqn(
             config,
             trainer=trainer_cfg,
             seed=args.seed,
         )
     net = result.agent.network()
-    print(
-        f"trained {result.steps} steps over {result.episodes} episodes; "
-        f"artifact: {parameter_count(net)} floats, "
-        f"{artifact_size_bytes(net) / 1024:.1f} KB"
+    log.info(
+        "training finished",
+        steps=result.steps,
+        episodes=result.episodes,
+        parameters=parameter_count(net),
+        artifact_kb=f"{artifact_size_bytes(net) / 1024:.1f}",
     )
     metrics = evaluate_dqn(result.agent, config, slots=args.eval_slots, seed=args.seed)
     print(
@@ -165,7 +180,7 @@ def cmd_train(args: argparse.Namespace) -> int:
     )
     if args.save:
         save_parameters(net, args.save)
-        print(f"saved parameter artifact to {args.save}")
+        log.info("saved parameter artifact", path=args.save)
     return 0
 
 
@@ -253,7 +268,7 @@ def cmd_figure(args: argparse.Namespace) -> int:
     elif name == "11a":
         agent = None
         if args.train_rl:
-            print("training the RL FH agent (this takes a minute) ...")
+            log.info("training the RL FH agent (this takes a minute)")
             agent = figures_mod.train_fig11_agent(seed=args.seed)
         results = figures_mod.fig11a_scheme_comparison(
             agent=agent, slots=args.slots, seed=args.seed
@@ -297,11 +312,25 @@ def cmd_emulate(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_obs(args: argparse.Namespace) -> int:
+    # Imported lazily: the summary renderer is only needed by this command.
+    from repro.obs.summary import render_summary
+
+    print(render_summary(args.trace, top=args.top))
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Reproduction of the ICDCS 2022 cross-technology "
         "anti-jamming paper.",
+    )
+    parser.add_argument(
+        "-q",
+        "--quiet",
+        action="store_true",
+        help="silence status logging on stderr (results still print)",
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -354,17 +383,42 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("emulate", help="run the EmuBee pipeline on hex bytes")
     p.add_argument("hex", help="ZigBee payload as hex, e.g. deadbeef")
     p.set_defaults(func=cmd_emulate)
+
+    p = sub.add_parser("obs", help="summarise a RUN_<name>.jsonl trace")
+    p.add_argument("trace", help="path to the trace written under REPRO_TRACE")
+    p.add_argument(
+        "--top",
+        type=int,
+        default=10,
+        help="how many counters/events to list (default 10)",
+    )
+    p.set_defaults(func=cmd_obs)
     return parser
 
 
 def main(argv: list[str] | None = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
+    obs_log.configure(quiet=args.quiet)
+    # ``obs`` reads traces; it must never record into the very file it is
+    # asked to summarise when REPRO_TRACE points at it.
+    tracing = False
+    if args.command == "obs":
+        obs_trace.disable()
+    else:
+        tracing = obs_trace.start_run(command=args.command)
     try:
-        return args.func(args)
+        with timing.stage(f"cli.{args.command}"):
+            with obs_trace.span(f"cli/{args.command}"):
+                return args.func(args)
     except ReproError as exc:
-        print(f"error: {exc}", file=sys.stderr)
+        log.error("command failed", command=args.command, error=str(exc))
         return 1
+    finally:
+        if tracing:
+            path = obs_trace.finish_run()
+            if path is not None:
+                log.info("trace written", path=str(path))
 
 
 if __name__ == "__main__":

@@ -18,6 +18,8 @@ from repro.core.mdp import MDPConfig
 from repro.core.metrics import MetricSummary, SlotLog
 from repro.errors import TrainingError
 from repro.exec import FaultPolicy, ParallelRunner, TaskFailure
+from repro.obs import trace as obs_trace
+from repro.obs.metrics import METRICS
 from repro.rng import SeedLike, derive
 
 
@@ -90,29 +92,48 @@ def train_dqn(
     converged = False
     steps = 0
     episodes_run = 0
-    for _ in range(trainer.episodes):
-        episodes_run += 1
-        obs = env.reset()
-        ep_reward = 0.0
-        ep_losses: list[float] = []
-        for _ in range(trainer.steps_per_episode):
-            action = agent.act(obs)
-            next_obs, reward, _ = env.step_index(action)
-            loss = agent.observe(
-                obs, action, reward * trainer.reward_scale, next_obs
+    with obs_trace.span(
+        "train/run",
+        seed=seed,
+        episodes=trainer.episodes,
+        steps_per_episode=trainer.steps_per_episode,
+    ):
+        for _ in range(trainer.episodes):
+            episodes_run += 1
+            obs = env.reset()
+            ep_reward = 0.0
+            ep_losses: list[float] = []
+            for _ in range(trainer.steps_per_episode):
+                action = agent.act(obs)
+                next_obs, reward, _ = env.step_index(action)
+                loss = agent.observe(
+                    obs, action, reward * trainer.reward_scale, next_obs
+                )
+                if loss is not None:
+                    ep_losses.append(loss)
+                obs = next_obs
+                ep_reward += reward
+                steps += 1
+            rewards.append(ep_reward / trainer.steps_per_episode)
+            losses.append(float(np.mean(ep_losses)) if ep_losses else float("nan"))
+            METRICS.inc("dqn.episodes")
+            METRICS.set("dqn.epsilon", agent.epsilon)
+            if ep_losses:
+                METRICS.observe("dqn.td_error", losses[-1])
+            obs_trace.event(
+                "dqn.episode",
+                episode=episodes_run - 1,
+                reward=rewards[-1],
+                loss=losses[-1],
+                epsilon=agent.epsilon,
+                replay=len(agent.replay),
+                steps=steps,
             )
-            if loss is not None:
-                ep_losses.append(loss)
-            obs = next_obs
-            ep_reward += reward
-            steps += 1
-        rewards.append(ep_reward / trainer.steps_per_episode)
-        losses.append(float(np.mean(ep_losses)) if ep_losses else float("nan"))
-        if trainer.reward_goal is not None and len(rewards) >= trainer.goal_window:
-            window = rewards[-trainer.goal_window :]
-            if float(np.mean(window)) >= trainer.reward_goal:
-                converged = True
-                break
+            if trainer.reward_goal is not None and len(rewards) >= trainer.goal_window:
+                window = rewards[-trainer.goal_window :]
+                if float(np.mean(window)) >= trainer.reward_goal:
+                    converged = True
+                    break
     agent.sync_target()
     return TrainingResult(
         agent=agent,
@@ -231,12 +252,20 @@ def evaluate_dqn(
     if env.observation_size != agent.config.observation_size:
         raise TrainingError("agent/environment observation size mismatch")
     log = SlotLog()
-    obs = env.reset()
-    for _ in range(slots):
-        action = agent.act(obs, greedy=True)
-        obs, _, info = env.step_index(action)
-        log.record(info)
-    return log.summary()
+    with obs_trace.span("train/evaluate", slots=slots):
+        obs = env.reset()
+        for _ in range(slots):
+            action = agent.act(obs, greedy=True)
+            obs, _, info = env.step_index(action)
+            log.record(info)
+    summary = log.summary()
+    obs_trace.event(
+        "dqn.evaluation",
+        slots=summary.slots,
+        success_rate=summary.success_rate,
+        mean_reward=summary.mean_reward,
+    )
+    return summary
 
 
 __all__ = [

@@ -53,6 +53,7 @@ from dataclasses import dataclass
 from typing import Any, Callable, Sequence
 
 from repro.errors import ConfigurationError, ExecutionError
+from repro.obs import trace as obs_trace
 from repro.rng import derive
 
 #: Environment variables configuring the default :class:`FaultPolicy`.
@@ -287,8 +288,23 @@ def _settle_failure(
     """
     if attempts < policy.max_attempts:
         counters.retries += 1
+        obs_trace.event(
+            "exec.retry",
+            task=index,
+            attempt=attempts,
+            error=type(exc).__name__,
+            timed_out=timed_out,
+        )
         return True
     counters.failures += 1
+    obs_trace.event(
+        "exec.task_failed",
+        task=index,
+        attempts=attempts,
+        error=type(exc).__name__,
+        timed_out=timed_out,
+        settled=policy.on_error == "skip",
+    )
     if policy.on_error == "skip":
         results[index] = _failure_from(index, exc, attempts, timed_out=timed_out)
         return False
@@ -330,6 +346,9 @@ def _serial_phase(
                 # Post-hoc enforcement: the task cannot be pre-empted
                 # in-process, so the overrun result is discarded instead.
                 counters.timeouts += 1
+                obs_trace.event(
+                    "exec.timeout", task=i, elapsed=elapsed, budget=policy.timeout_s
+                )
                 err = TimeoutError(
                     f"task {i} ran {elapsed:.3f}s, budget {policy.timeout_s}s"
                 )
@@ -361,15 +380,20 @@ def _pool_phase(
     pool = ProcessPoolExecutor(max_workers=workers)
     try:
         while todo:
-            futures = {
-                i: pool.submit(
-                    _guarded_task,
-                    (task_fn, specs[i], i, attempts[i] + 1, rate, fault_seed),
-                )
-                for i in todo
-            }
-            retry: list[int] = []
+            futures: dict[int, Any] = {}
             broken = False
+            try:
+                for i in todo:
+                    futures[i] = pool.submit(
+                        _guarded_task,
+                        (task_fn, specs[i], i, attempts[i] + 1, rate, fault_seed),
+                    )
+            except BrokenProcessPool:
+                # A worker died while this round was still being
+                # submitted; salvage whatever already finished below and
+                # hand the rest to the serial rescue.
+                broken = True
+            retry: list[int] = []
             for i, fut in futures.items():
                 if broken:
                     # The pool already broke; salvage futures that finished
@@ -387,6 +411,9 @@ def _pool_phase(
                     fut.cancel()
                     counters.timeouts += 1
                     attempts[i] += 1
+                    obs_trace.event(
+                        "exec.timeout", task=i, budget=policy.timeout_s
+                    )
                     err = TimeoutError(
                         f"task {i}: no result within {policy.timeout_s}s"
                     )
@@ -407,7 +434,14 @@ def _pool_phase(
                     results[i] = value
             if broken:
                 counters.pool_breaks += 1
-                return [i for i in range(len(specs)) if results[i] is _PENDING]
+                rescue = [i for i in range(len(specs)) if results[i] is _PENDING]
+                obs_trace.event(
+                    "exec.degrade",
+                    reason="broken-pool",
+                    rescued=len(rescue),
+                    completed=len(specs) - len(rescue),
+                )
+                return rescue
             todo = retry
             if todo:
                 time.sleep(max(policy.backoff_for(attempts[i]) for i in todo))

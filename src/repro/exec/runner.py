@@ -38,6 +38,9 @@ from typing import Any, Callable, Iterable, Sequence
 from repro.errors import ConfigurationError
 from repro.exec.faults import FaultCounters, FaultPolicy, run_with_faults
 from repro.exec.timing import REGISTRY, TimingRegistry
+from repro.obs import trace as obs_trace
+from repro.obs.metrics import METRICS
+from repro.obs.profile import maybe_profile
 from repro.rng import SeedLike, derive
 
 #: Environment variable selecting the default pool size.
@@ -75,6 +78,40 @@ def _seeded_task(payload: tuple) -> Any:
     """Pool trampoline: run ``task_fn(spec, rng)`` with a derived stream."""
     task_fn, spec, seed, tag = payload
     return task_fn(spec, derive(seed, tag))
+
+
+def _traced_task(payload: tuple) -> Any:
+    """Pool trampoline carrying the parent's trace context.
+
+    In a pool worker: adopt the shipped context (same trace id, spans
+    parented under the dispatch span), buffer everything the task
+    records, and return a :class:`repro.obs.trace.TracedResult` envelope
+    so the parent can merge the telemetry and unwrap the raw result. On
+    the serial/rescue path (same process as the dispatcher) the ambient
+    context is already live, so the task runs under a plain span and the
+    result passes through unwrapped.
+    """
+    task_fn, spec, ctx = payload
+    if obs_trace.in_origin(ctx):
+        with obs_trace.span("exec/task"):
+            return task_fn(spec)
+    obs_trace.activate_worker(ctx)
+    with obs_trace.span("exec/task"):
+        result = task_fn(spec)
+    return obs_trace.TracedResult(
+        result=result,
+        records=obs_trace.drain_worker(),
+        metrics=METRICS.snapshot(),
+    )
+
+
+def _absorb_traced(result: Any) -> Any:
+    """Unwrap a :class:`TracedResult`: merge telemetry, return the payload."""
+    if isinstance(result, obs_trace.TracedResult):
+        obs_trace.absorb(result.records)
+        METRICS.merge(result.metrics)
+        return result.result
+    return result  # TaskFailure sentinels and serial-path results
 
 
 class ParallelRunner:
@@ -155,18 +192,37 @@ class ParallelRunner:
 
     def _timed_dispatch(self, task_fn: Callable[[Any], Any], specs: list) -> list:
         counters = FaultCounters()
+        METRICS.inc("exec.dispatches")
+        METRICS.inc("exec.tasks", len(specs))
         start = time.perf_counter()
         try:
-            return self._dispatch(task_fn, specs, counters)
+            with obs_trace.span(
+                "exec/dispatch",
+                stage=self.name,
+                specs=len(specs),
+                workers=min(self.workers, max(len(specs), 1)),
+            ):
+                with maybe_profile(self.name):
+                    return self._dispatch(task_fn, specs, counters)
         finally:
+            seconds = time.perf_counter() - start
             self.registry.record(
                 self.name,
-                time.perf_counter() - start,
+                seconds,
                 items=len(specs),
                 retries=counters.retries,
                 failures=counters.failures,
                 timeouts=counters.timeouts,
             )
+            METRICS.observe("exec.dispatch_seconds", seconds)
+            for key, value in (
+                ("exec.retries", counters.retries),
+                ("exec.failures", counters.failures),
+                ("exec.timeouts", counters.timeouts),
+                ("exec.pool_breaks", counters.pool_breaks),
+            ):
+                if value:
+                    METRICS.inc(key, value)
 
     def _dispatch(
         self,
@@ -175,6 +231,26 @@ class ParallelRunner:
         counters: FaultCounters,
     ) -> list:
         workers = min(self.workers, len(specs))
+        # With tracing active and a pool in play, ship the ambient trace
+        # context inside every payload so worker-side spans/events/metrics
+        # come back with the results and merge into the single parent
+        # trace. With tracing off the payloads are untouched.
+        ctx = obs_trace.worker_context() if workers > 1 else None
+        if ctx is not None:
+            specs = [(task_fn, spec, ctx) for spec in specs]
+            task_fn = _traced_task
+        results = self._raw_dispatch(task_fn, specs, workers, counters)
+        if ctx is not None:
+            results = [_absorb_traced(result) for result in results]
+        return results
+
+    def _raw_dispatch(
+        self,
+        task_fn: Callable[[Any], Any],
+        specs: Sequence[Any],
+        workers: int,
+        counters: FaultCounters,
+    ) -> list:
         if self.policy.is_passthrough:
             if workers <= 1:
                 # Serial fallback: same function, same order, same process.

@@ -18,20 +18,21 @@ import platform
 import time
 from contextlib import contextmanager
 from dataclasses import dataclass, field
+from datetime import datetime, timezone
 from pathlib import Path
 from typing import Iterator
 
-#: Environment variable overriding where BENCH_*.json artifacts are written.
-BENCH_DIR_ENV = "REPRO_BENCH_DIR"
+from repro.obs.metrics import METRICS
+from repro.obs.paths import BENCH_DIR_ENV, DEFAULT_ARTIFACT_DIR, artifact_dir
+from repro.obs.profile import maybe_profile
 
 #: Default artifact directory (benchmarks/results at the repo root).
-DEFAULT_BENCH_DIR = Path(__file__).resolve().parents[3] / "benchmarks" / "results"
+DEFAULT_BENCH_DIR = DEFAULT_ARTIFACT_DIR
 
 
 def bench_dir() -> Path:
     """Directory BENCH artifacts are written to (env-overridable)."""
-    override = os.environ.get(BENCH_DIR_ENV)
-    return Path(override) if override else DEFAULT_BENCH_DIR
+    return artifact_dir()
 
 
 @dataclass
@@ -91,10 +92,15 @@ class TimingRegistry:
 
     @contextmanager
     def stage(self, name: str, *, items: int = 0) -> Iterator[None]:
-        """Time a ``with`` block under ``name``."""
+        """Time a ``with`` block under ``name``.
+
+        With ``REPRO_PROFILE`` set, the block also runs under cProfile
+        and dumps ``PROF_<name>.pstats`` next to the BENCH artifacts.
+        """
         start = time.perf_counter()
         try:
-            yield
+            with maybe_profile(name):
+                yield
         finally:
             self.record(name, time.perf_counter() - start, items=items)
 
@@ -119,18 +125,23 @@ class TimingRegistry:
         """Write the registry snapshot as ``BENCH_<name>.json``.
 
         Returns the path written. ``extra`` entries are merged into the
-        top-level document (e.g. slot budgets, worker counts).
+        top-level document (e.g. slot budgets, worker counts). The
+        ``metrics`` section carries the :data:`repro.obs.metrics.METRICS`
+        snapshot (counters, gauges, histograms) of this process; the
+        timestamp is UTC ISO-8601 so artifacts sort and diff reliably
+        across platforms.
         """
         out_dir = Path(directory) if directory is not None else bench_dir()
         out_dir.mkdir(parents=True, exist_ok=True)
         doc = {
             "name": name,
-            "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
+            "timestamp": datetime.now(timezone.utc).isoformat(timespec="seconds"),
             "platform": platform.platform(),
             "python": platform.python_version(),
             "cpu_count": os.cpu_count(),
             "workers_env": os.environ.get("REPRO_WORKERS"),
             "stages": self.as_dict(),
+            "metrics": METRICS.snapshot(),
         }
         if extra:
             doc.update(extra)

@@ -1,0 +1,64 @@
+"""Observability: spans, events, metrics, structured logs, profiles.
+
+Three pillars, all zero-dependency and off-by-default:
+
+* :mod:`repro.obs.trace` — hierarchical spans and structured events,
+  streamed to a ``RUN_<name>.jsonl`` artifact when ``REPRO_TRACE`` is
+  set (sampled by ``REPRO_TRACE_SAMPLE``), with cross-process
+  propagation through :class:`repro.exec.ParallelRunner` pool workers.
+* :mod:`repro.obs.metrics` — an always-on registry of named counters,
+  gauges, and fixed-bucket histograms, snapshotted into every
+  ``BENCH_*.json`` and into the trace's final ``metrics`` record.
+* :mod:`repro.obs.log` — structured ``key=value`` logging over stdlib
+  :mod:`logging` (stderr; the CLI's ``--quiet`` caps it at WARNING).
+
+Plus :mod:`repro.obs.profile` (``REPRO_PROFILE=1`` dumps per-stage
+``PROF_<stage>.pstats``) and :mod:`repro.obs.summary` (the ``repro obs``
+trace renderer — import it directly; it is intentionally not re-exported
+here to keep library imports light).
+"""
+
+from repro.obs.log import configure, get_logger
+from repro.obs.metrics import (
+    DEFAULT_BUCKETS,
+    METRICS,
+    RATIO_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+from repro.obs.paths import artifact_dir
+from repro.obs.profile import PROFILE_ENV, maybe_profile, profiling_enabled
+from repro.obs.trace import (
+    SAMPLE_ENV,
+    TRACE_ENV,
+    enabled,
+    event,
+    finish_run,
+    span,
+    start_run,
+)
+
+__all__ = [
+    "configure",
+    "get_logger",
+    "DEFAULT_BUCKETS",
+    "RATIO_BUCKETS",
+    "METRICS",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "artifact_dir",
+    "PROFILE_ENV",
+    "maybe_profile",
+    "profiling_enabled",
+    "TRACE_ENV",
+    "SAMPLE_ENV",
+    "enabled",
+    "event",
+    "span",
+    "start_run",
+    "finish_run",
+]

@@ -1,0 +1,258 @@
+"""Named counters, gauges, and fixed-bucket histograms.
+
+The registry is the always-on half of the observability layer: increments
+are plain dict lookups plus float adds, cheap enough for per-frame hot
+paths, and the whole registry snapshots into the ``metrics`` section of
+every ``BENCH_*.json`` artifact (see
+:meth:`repro.exec.timing.TimingRegistry.write_bench`) and into the final
+``metrics`` record of a ``RUN_*.jsonl`` trace.
+
+Conventions: metric names are dotted lowercase (``phy.crc_failures``,
+``sim.cca_backoffs``, ``dqn.td_error``, ``exec.retries``). Counters only
+go up within a run; gauges hold the last written value; histograms bin
+observations into fixed upper-bound buckets so quantiles can be estimated
+after the fact without storing samples.
+
+Pool workers accumulate into their own process-local registry; when
+tracing is active the :class:`repro.exec.ParallelRunner` envelope carries
+each worker's snapshot back and merges it here (see
+:func:`MetricsRegistry.merge`).
+"""
+
+from __future__ import annotations
+
+import math
+from bisect import bisect_left
+from dataclasses import dataclass, field
+
+from repro.errors import ConfigurationError
+
+#: Default histogram bucket upper bounds — a coarse log scale wide enough
+#: for both sub-millisecond timings and triple-digit losses. Observations
+#: above the last bound land in the implicit overflow bucket.
+DEFAULT_BUCKETS: tuple[float, ...] = (
+    0.001,
+    0.0025,
+    0.005,
+    0.01,
+    0.025,
+    0.05,
+    0.1,
+    0.25,
+    0.5,
+    1.0,
+    2.5,
+    5.0,
+    10.0,
+    25.0,
+    50.0,
+    100.0,
+)
+
+#: Linear buckets for ratio-valued observations (PER, occupancy, ...).
+RATIO_BUCKETS: tuple[float, ...] = tuple(round(i * 0.05, 2) for i in range(1, 21))
+
+
+@dataclass
+class Counter:
+    """Monotonically increasing count."""
+
+    value: float = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ConfigurationError(f"counters only go up, got {amount}")
+        self.value += amount
+
+
+@dataclass
+class Gauge:
+    """Last-written value (e.g. the current exploration rate)."""
+
+    value: float = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+
+
+def quantile_from_buckets(
+    buckets: tuple[float, ...],
+    counts: list[int],
+    q: float,
+    *,
+    minimum: float,
+    maximum: float,
+) -> float:
+    """Estimate the ``q``-quantile from fixed-bucket counts.
+
+    Linear interpolation inside the winning bucket; the overflow bucket
+    (observations above the last bound) reports the observed maximum.
+    """
+    if not 0.0 <= q <= 1.0:
+        raise ConfigurationError(f"quantile must be in [0, 1], got {q}")
+    total = sum(counts)
+    if total == 0:
+        return float("nan")
+    target = q * total
+    cum = 0.0
+    for i, count in enumerate(counts):
+        cum += count
+        if cum >= target and count:
+            if i >= len(buckets):  # overflow bucket
+                return maximum
+            lo = buckets[i - 1] if i > 0 else min(minimum, buckets[i])
+            hi = buckets[i]
+            frac = (target - (cum - count)) / count
+            return lo + (hi - lo) * max(0.0, min(1.0, frac))
+    return maximum
+
+
+@dataclass
+class Histogram:
+    """Fixed-bucket histogram with count/sum/min/max sidecars."""
+
+    buckets: tuple[float, ...] = DEFAULT_BUCKETS
+    counts: list[int] = field(default_factory=list)
+    count: int = 0
+    total: float = 0.0
+    minimum: float = math.inf
+    maximum: float = -math.inf
+
+    def __post_init__(self) -> None:
+        if not self.buckets or list(self.buckets) != sorted(self.buckets):
+            raise ConfigurationError("histogram buckets must be sorted and non-empty")
+        if not self.counts:
+            # One slot per bound plus the overflow bucket.
+            self.counts = [0] * (len(self.buckets) + 1)
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        if math.isnan(value):
+            return
+        self.counts[bisect_left(self.buckets, value)] += 1
+        self.count += 1
+        self.total += value
+        self.minimum = min(self.minimum, value)
+        self.maximum = max(self.maximum, value)
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else float("nan")
+
+    def quantile(self, q: float) -> float:
+        return quantile_from_buckets(
+            self.buckets, self.counts, q, minimum=self.minimum, maximum=self.maximum
+        )
+
+    def as_dict(self) -> dict:
+        return {
+            "buckets": list(self.buckets),
+            "counts": list(self.counts),
+            "count": self.count,
+            "sum": self.total,
+            "min": self.minimum if self.count else None,
+            "max": self.maximum if self.count else None,
+        }
+
+
+class MetricsRegistry:
+    """Process-local registry of named counters, gauges, and histograms."""
+
+    def __init__(self) -> None:
+        self.counters: dict[str, Counter] = {}
+        self.gauges: dict[str, Gauge] = {}
+        self.histograms: dict[str, Histogram] = {}
+
+    # -- get-or-create accessors ---------------------------------------------------
+
+    def counter(self, name: str) -> Counter:
+        metric = self.counters.get(name)
+        if metric is None:
+            metric = self.counters[name] = Counter()
+        return metric
+
+    def gauge(self, name: str) -> Gauge:
+        metric = self.gauges.get(name)
+        if metric is None:
+            metric = self.gauges[name] = Gauge()
+        return metric
+
+    def histogram(
+        self, name: str, *, buckets: tuple[float, ...] | None = None
+    ) -> Histogram:
+        metric = self.histograms.get(name)
+        if metric is None:
+            metric = self.histograms[name] = Histogram(
+                buckets=buckets if buckets is not None else DEFAULT_BUCKETS
+            )
+        return metric
+
+    # -- recording shorthands --------------------------------------------------------
+
+    def inc(self, name: str, amount: float = 1.0) -> None:
+        self.counter(name).inc(amount)
+
+    def set(self, name: str, value: float) -> None:
+        self.gauge(name).set(value)
+
+    def observe(
+        self, name: str, value: float, *, buckets: tuple[float, ...] | None = None
+    ) -> None:
+        self.histogram(name, buckets=buckets).observe(value)
+
+    # -- snapshots -------------------------------------------------------------------
+
+    def snapshot(self) -> dict:
+        """JSON-ready ``{"counters": ..., "gauges": ..., "histograms": ...}``."""
+        return {
+            "counters": {k: v.value for k, v in sorted(self.counters.items())},
+            "gauges": {k: v.value for k, v in sorted(self.gauges.items())},
+            "histograms": {k: v.as_dict() for k, v in sorted(self.histograms.items())},
+        }
+
+    def merge(self, snapshot: dict) -> None:
+        """Fold a worker's :meth:`snapshot` into this registry.
+
+        Counters add, gauges take the incoming value, histograms add
+        bucket counts (bucket bounds must match — they do, because both
+        sides run the same instrumentation code).
+        """
+        for name, value in snapshot.get("counters", {}).items():
+            self.inc(name, value)
+        for name, value in snapshot.get("gauges", {}).items():
+            self.set(name, value)
+        for name, doc in snapshot.get("histograms", {}).items():
+            hist = self.histogram(name, buckets=tuple(doc["buckets"]))
+            if list(hist.buckets) != list(doc["buckets"]):
+                raise ConfigurationError(
+                    f"histogram {name!r} bucket mismatch during merge"
+                )
+            for i, count in enumerate(doc["counts"]):
+                hist.counts[i] += count
+            hist.count += doc["count"]
+            hist.total += doc["sum"]
+            if doc["min"] is not None:
+                hist.minimum = min(hist.minimum, doc["min"])
+            if doc["max"] is not None:
+                hist.maximum = max(hist.maximum, doc["max"])
+
+    def reset(self) -> None:
+        self.counters.clear()
+        self.gauges.clear()
+        self.histograms.clear()
+
+
+#: Process-global registry the library's instrumented paths record into.
+METRICS = MetricsRegistry()
+
+
+__all__ = [
+    "DEFAULT_BUCKETS",
+    "RATIO_BUCKETS",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "METRICS",
+    "quantile_from_buckets",
+]

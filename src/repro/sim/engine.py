@@ -13,6 +13,7 @@ from dataclasses import dataclass
 from typing import Any, Generic, TypeVar
 
 from repro.errors import SimulationError
+from repro.obs import trace as obs_trace
 from repro.rng import SeedLike, make_rng
 
 RecordT = TypeVar("RecordT")
@@ -51,10 +52,13 @@ class SlottedSimulation(abc.ABC, Generic[RecordT]):
         if num_slots < 1:
             raise SimulationError("must run at least one slot")
         new: list[RecordT] = []
-        for _ in range(num_slots):
-            record = self.run_slot(self.current_slot, self.now)
-            new.append(record)
-            self.current_slot += 1
+        with obs_trace.span(
+            "sim/run", sim=type(self).__name__, slots=num_slots
+        ):
+            for _ in range(num_slots):
+                record = self.run_slot(self.current_slot, self.now)
+                new.append(record)
+                self.current_slot += 1
         self.records.extend(new)
         return new
 

@@ -21,6 +21,8 @@ from repro.errors import ConfigurationError, SimulationError
 from repro.jamming.jammer import FieldJammer, FieldJammerConfig
 from repro.net.goodput import GoodputModel
 from repro.net.timing import TimingModel
+from repro.obs import trace as obs_trace
+from repro.obs.metrics import METRICS
 from repro.rng import SeedLike, derive, make_rng
 from repro.sim.engine import SlottedSimulation
 
@@ -273,6 +275,24 @@ class FieldExperiment(SlottedSimulation[FieldSlotRecord]):
                 reward=reward,
                 channel=channel,
             )
+        )
+        METRICS.inc("sim.slots")
+        if hopped:
+            METRICS.inc("sim.hops")
+        if power_index > 0:
+            METRICS.inc("sim.pc_slots")
+        if attempted:
+            METRICS.inc("sim.jam_attempts")
+        obs_trace.event(
+            "sim.slot",
+            slot=slot_index,
+            state=next_state,
+            channel=channel,
+            power=power_index,
+            hopped=hopped,
+            jam_attempted=attempted,
+            jammed_fraction=jam_fraction,
+            delivered=report.packets_delivered,
         )
         self.adapter.observe(next_state, channel, power_index)
         self._state = next_state

@@ -24,6 +24,8 @@ from repro.constants import WIFI_TX_POWER_DBM, ZIGBEE_TX_POWER_DBM
 from repro.errors import ConfigurationError
 from repro.exec import FaultPolicy, ParallelRunner, TaskFailure
 from repro.net.mac import CsmaConfig, CsmaMac
+from repro.obs import trace as obs_trace
+from repro.obs.metrics import METRICS, RATIO_BUCKETS
 from repro.phy.zigbee import BIT_RATE
 from repro.rng import SeedLike, derive, make_rng
 
@@ -166,6 +168,8 @@ class Testbed:
                 if self._rng.random() < cfg.jammer_reaction_probability
                 else []
             )
+            if active:
+                METRICS.inc("sim.jam_attempts")
             ok, _ = self.medium.frame_outcome(
                 node_id,
                 self.HUB_ID,
@@ -184,16 +188,36 @@ class Testbed:
             raise ConfigurationError("need at least one frame per node")
         cfg = self.config
         stats = WindowStats(payload_bits=cfg.frame_payload_octets * 8)
-        for node_id in self.node_ids:
-            before = self._macs[node_id].stats.channel_access_failures
-            for _ in range(frames_per_node):
-                delivered, elapsed = self.send_frame(node_id)
-                stats.attempts += 1
-                stats.delivered += delivered
-                stats.air_time_s += elapsed
-            stats.cca_blocked += (
-                self._macs[node_id].stats.channel_access_failures - before
-            )
+        with obs_trace.span(
+            "sim/window",
+            frames=frames_per_node * len(self.node_ids),
+            jammer_distance_m=self.jammer_distance_m,
+        ):
+            for node_id in self.node_ids:
+                before = self._macs[node_id].stats.channel_access_failures
+                for _ in range(frames_per_node):
+                    delivered, elapsed = self.send_frame(node_id)
+                    stats.attempts += 1
+                    stats.delivered += delivered
+                    stats.air_time_s += elapsed
+                stats.cca_blocked += (
+                    self._macs[node_id].stats.channel_access_failures - before
+                )
+        METRICS.inc("sim.windows")
+        if stats.cca_blocked:
+            METRICS.inc("sim.cca_backoffs", stats.cca_blocked)
+        METRICS.observe(
+            "sim.window_per", stats.packet_error_rate, buckets=RATIO_BUCKETS
+        )
+        obs_trace.event(
+            "sim.window",
+            attempts=stats.attempts,
+            delivered=stats.delivered,
+            per=stats.packet_error_rate,
+            throughput_kbps=stats.throughput_kbps,
+            cca_blocked=stats.cca_blocked,
+            jammer_distance_m=self.jammer_distance_m,
+        )
         return stats
 
     # -- the Fig. 2(b) experiment ---------------------------------------------

@@ -93,6 +93,52 @@ class TestSlotLog:
         assert {"S_T", "A_H", "S_H", "A_P", "S_P"} <= set(d)
 
 
+class TestSlotLogEdgeCases:
+    def test_extend_with_empty_list_still_rejected(self):
+        log = SlotLog()
+        log.extend([])
+        with pytest.raises(SimulationError):
+            log.summary()
+
+    def test_all_hops_without_avoided_jam_gives_zero_sh(self):
+        # Every slot hopped preventatively: A_H == 1 but S_H must be 0,
+        # not a division error or NaN.
+        log = SlotLog()
+        log.extend([info(hopped=True, avoided_jam=False)] * 4)
+        s = log.summary()
+        assert s.fh_adoption_rate == 1.0
+        assert s.fh_success_rate == 0.0
+
+    def test_all_pc_without_defeats_gives_zero_sp(self):
+        log = SlotLog()
+        log.extend([info(power_raised=True, jam_defeated=False)] * 4)
+        s = log.summary()
+        assert s.pc_adoption_rate == 1.0
+        assert s.pc_success_rate == 0.0
+
+    def test_jam_attempt_rate(self):
+        log = SlotLog()
+        log.extend([info(jam_attempted=True), info(), info(), info()])
+        assert log.summary().jam_attempt_rate == 0.25
+
+    def test_history_not_kept_by_default(self):
+        log = SlotLog()
+        log.record(info())
+        assert log._history == []  # no silent memory growth
+
+    def test_history_returns_a_copy(self):
+        log = SlotLog(keep_history=True)
+        log.record(info())
+        snapshot = log.history
+        snapshot.clear()
+        assert len(log.history) == 1
+
+    def test_summary_is_idempotent(self):
+        log = SlotLog()
+        log.extend([info(success=True), info(success=False, state=J)])
+        assert log.summary() == log.summary()
+
+
 class TestEvaluatePolicy:
     def test_slot_count_respected(self):
         cfg = MDPConfig()

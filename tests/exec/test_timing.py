@@ -2,9 +2,11 @@
 
 import json
 import time
+from datetime import datetime, timedelta, timezone
 
 from repro.exec import timing
 from repro.exec.timing import TimingRegistry
+from repro.obs.metrics import MetricsRegistry
 
 
 class TestRegistry:
@@ -72,6 +74,28 @@ class TestBenchArtifacts:
         assert stage["retries"] == 3
         assert stage["failures"] == 1
         assert stage["timeouts"] == 2
+
+    def test_timestamp_is_utc_iso8601(self, tmp_path):
+        reg = TimingRegistry()
+        doc = json.loads(reg.write_bench("ts", directory=tmp_path).read_text())
+        stamp = datetime.fromisoformat(doc["timestamp"])
+        assert stamp.tzinfo is not None
+        assert stamp.utcoffset() == timedelta(0)
+        assert abs(datetime.now(timezone.utc) - stamp) < timedelta(minutes=1)
+
+    def test_metrics_section_snapshots_registry(self, tmp_path, monkeypatch):
+        from repro.obs import metrics as obs_metrics
+
+        fresh = MetricsRegistry()
+        monkeypatch.setattr(obs_metrics, "METRICS", fresh)
+        monkeypatch.setattr(timing, "METRICS", fresh)
+        fresh.inc("phy.crc_failures", 7)
+        fresh.observe("sim.window_per", 0.25, buckets=(0.5, 1.0))
+        doc = json.loads(
+            TimingRegistry().write_bench("m", directory=tmp_path).read_text()
+        )
+        assert doc["metrics"]["counters"]["phy.crc_failures"] == 7
+        assert doc["metrics"]["histograms"]["sim.window_per"]["count"] == 1
 
     def test_write_bench_extra_fields(self, tmp_path):
         reg = TimingRegistry()

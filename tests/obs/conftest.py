@@ -1,0 +1,20 @@
+"""Shared fixtures: every obs test starts with a clean, disabled state."""
+
+import pytest
+
+from repro.obs import trace
+from repro.obs.metrics import METRICS
+
+
+@pytest.fixture(autouse=True)
+def clean_obs_state(monkeypatch):
+    """Isolate trace/metrics globals and the REPRO_* env between tests."""
+    monkeypatch.delenv(trace.TRACE_ENV, raising=False)
+    monkeypatch.delenv(trace.SAMPLE_ENV, raising=False)
+    monkeypatch.delenv("REPRO_PROFILE", raising=False)
+    monkeypatch.delenv("REPRO_WORKERS", raising=False)
+    trace.reset()
+    METRICS.reset()
+    yield
+    trace.reset()
+    METRICS.reset()

@@ -1,0 +1,168 @@
+"""Tests for the counters/gauges/histograms registry."""
+
+import math
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.obs.metrics import (
+    DEFAULT_BUCKETS,
+    RATIO_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    quantile_from_buckets,
+)
+
+
+class TestCounter:
+    def test_increments(self):
+        c = Counter()
+        c.inc()
+        c.inc(2.5)
+        assert c.value == 3.5
+
+    def test_rejects_negative(self):
+        with pytest.raises(ConfigurationError):
+            Counter().inc(-1)
+
+
+class TestGauge:
+    def test_last_write_wins(self):
+        g = Gauge()
+        g.set(0.5)
+        g.set(0.25)
+        assert g.value == 0.25
+
+
+class TestHistogram:
+    def test_binning_and_sidecars(self):
+        h = Histogram(buckets=(1.0, 2.0, 4.0))
+        for v in (0.5, 1.5, 3.0, 100.0):
+            h.observe(v)
+        assert h.counts == [1, 1, 1, 1]  # last slot is the overflow bucket
+        assert h.count == 4
+        assert h.total == 105.0
+        assert h.minimum == 0.5
+        assert h.maximum == 100.0
+
+    def test_nan_observations_skipped(self):
+        h = Histogram()
+        h.observe(float("nan"))
+        assert h.count == 0
+        assert math.isnan(h.mean)
+
+    def test_buckets_must_be_sorted(self):
+        with pytest.raises(ConfigurationError):
+            Histogram(buckets=(2.0, 1.0))
+        with pytest.raises(ConfigurationError):
+            Histogram(buckets=())
+
+    def test_quantiles_interpolate(self):
+        h = Histogram(buckets=(1.0, 2.0))
+        for _ in range(100):
+            h.observe(1.5)
+        # All mass in the (1, 2] bucket: the median interpolates inside it.
+        assert 1.0 < h.quantile(0.5) <= 2.0
+        assert h.quantile(0.0) <= h.quantile(1.0)
+
+    def test_overflow_quantile_reports_maximum(self):
+        h = Histogram(buckets=(1.0,))
+        h.observe(42.0)
+        assert h.quantile(0.99) == 42.0
+
+    def test_as_dict_roundtrips_json_types(self):
+        h = Histogram(buckets=RATIO_BUCKETS)
+        h.observe(0.33)
+        doc = h.as_dict()
+        assert doc["count"] == 1
+        assert doc["min"] == doc["max"] == 0.33
+        assert len(doc["counts"]) == len(doc["buckets"]) + 1
+
+    def test_empty_as_dict_has_null_extrema(self):
+        doc = Histogram().as_dict()
+        assert doc["min"] is None and doc["max"] is None
+
+
+class TestQuantileFromBuckets:
+    def test_empty_counts_is_nan(self):
+        out = quantile_from_buckets((1.0,), [0, 0], 0.5, minimum=0, maximum=0)
+        assert math.isnan(out)
+
+    def test_invalid_q_rejected(self):
+        with pytest.raises(ConfigurationError):
+            quantile_from_buckets((1.0,), [1, 0], 1.5, minimum=0, maximum=1)
+
+
+class TestRegistry:
+    def test_get_or_create(self):
+        reg = MetricsRegistry()
+        assert reg.counter("a") is reg.counter("a")
+        assert reg.gauge("b") is reg.gauge("b")
+        assert reg.histogram("c") is reg.histogram("c")
+
+    def test_shorthands(self):
+        reg = MetricsRegistry()
+        reg.inc("hits", 2)
+        reg.set("eps", 0.1)
+        reg.observe("lat", 0.02)
+        snap = reg.snapshot()
+        assert snap["counters"]["hits"] == 2
+        assert snap["gauges"]["eps"] == 0.1
+        assert snap["histograms"]["lat"]["count"] == 1
+
+    def test_snapshot_is_sorted_and_detached(self):
+        reg = MetricsRegistry()
+        reg.inc("z")
+        reg.inc("a")
+        snap = reg.snapshot()
+        assert list(snap["counters"]) == ["a", "z"]
+        snap["counters"]["a"] = 99
+        assert reg.counter("a").value == 1
+
+    def test_merge_worker_snapshot(self):
+        worker = MetricsRegistry()
+        worker.inc("tasks", 3)
+        worker.set("eps", 0.5)
+        worker.observe("lat", 0.004)
+        worker.observe("lat", 30.0)
+
+        parent = MetricsRegistry()
+        parent.inc("tasks", 1)
+        parent.observe("lat", 0.008)
+        parent.merge(worker.snapshot())
+
+        snap = parent.snapshot()
+        assert snap["counters"]["tasks"] == 4
+        assert snap["gauges"]["eps"] == 0.5
+        hist = snap["histograms"]["lat"]
+        assert hist["count"] == 3
+        assert hist["min"] == 0.004
+        assert hist["max"] == 30.0
+
+    def test_merge_bucket_mismatch_rejected(self):
+        worker = MetricsRegistry()
+        worker.observe("x", 0.5, buckets=(1.0, 2.0))
+        parent = MetricsRegistry()
+        parent.observe("x", 0.5)  # DEFAULT_BUCKETS
+        with pytest.raises(ConfigurationError):
+            parent.merge(worker.snapshot())
+
+    def test_merge_empty_histogram_keeps_extrema(self):
+        worker = MetricsRegistry()
+        worker.histogram("x")  # created but never observed
+        parent = MetricsRegistry()
+        parent.observe("x", 0.5)
+        parent.merge(worker.snapshot())
+        assert parent.histogram("x").minimum == 0.5
+
+    def test_reset(self):
+        reg = MetricsRegistry()
+        reg.inc("a")
+        reg.reset()
+        assert reg.snapshot() == {"counters": {}, "gauges": {}, "histograms": {}}
+
+    def test_default_buckets_sorted(self):
+        assert list(DEFAULT_BUCKETS) == sorted(DEFAULT_BUCKETS)
+        assert list(RATIO_BUCKETS) == sorted(RATIO_BUCKETS)

@@ -1,0 +1,125 @@
+"""Tests for trace summarisation and the ``repro obs`` subcommand."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.errors import ReproError
+from repro.obs import trace
+from repro.obs.metrics import METRICS
+from repro.obs.summary import load_trace, render_summary, span_tree
+
+
+def write_demo_trace(monkeypatch, tmp_path, name="demo"):
+    target = tmp_path / f"RUN_{name}.jsonl"
+    monkeypatch.setenv(trace.TRACE_ENV, str(target))
+    trace.reset()
+    trace.start_run(command="demo")
+    with trace.span("cli/demo"):
+        with trace.span("sim/run", slots=3):
+            for i in range(3):
+                trace.event("sim.slot", slot=i)
+        METRICS.inc("sim.slots", 3)
+        METRICS.set("dqn.epsilon", 0.5)
+        METRICS.observe("exec.dispatch_seconds", 0.02)
+    trace.finish_run()
+    return target
+
+
+class TestLoadTrace:
+    def test_buckets_record_types(self, monkeypatch, tmp_path):
+        doc = load_trace(write_demo_trace(monkeypatch, tmp_path))
+        assert doc.manifest["run"] == "demo"
+        assert len(doc.spans) == 2
+        assert len(doc.events) == 3
+        assert doc.metrics["counters"]["sim.slots"] == 3
+        assert doc.malformed == 0
+
+    def test_missing_file_raises(self, tmp_path):
+        with pytest.raises(ReproError):
+            load_trace(tmp_path / "nope.jsonl")
+
+    def test_empty_file_raises(self, tmp_path):
+        empty = tmp_path / "RUN_empty.jsonl"
+        empty.write_text("")
+        with pytest.raises(ReproError):
+            load_trace(empty)
+
+    def test_garbled_lines_tolerated(self, monkeypatch, tmp_path):
+        target = write_demo_trace(monkeypatch, tmp_path)
+        with target.open("a") as handle:
+            handle.write("{truncated\n")
+            handle.write(json.dumps({"type": "mystery"}) + "\n")
+        doc = load_trace(target)
+        assert doc.malformed == 2
+        assert len(doc.spans) == 2  # good records still load
+
+
+class TestSpanTree:
+    def test_aggregates_siblings_by_name(self, monkeypatch, tmp_path):
+        doc = load_trace(write_demo_trace(monkeypatch, tmp_path))
+        tree = span_tree(doc)
+        assert len(tree) == 1
+        name, count, dur, children = tree[0]
+        assert name == "cli/demo" and count == 1 and dur > 0
+        assert children[0][0] == "sim/run"
+
+    def test_orphaned_parent_becomes_root(self):
+        from repro.obs.summary import TraceDoc
+
+        doc = TraceDoc(path=None)
+        doc.spans = [
+            {"id": "1.1", "parent": "ghost", "name": "lost", "dur": 0.1},
+        ]
+        tree = span_tree(doc)
+        assert tree[0][0] == "lost"
+
+
+class TestRenderSummary:
+    def test_sections_present(self, monkeypatch, tmp_path):
+        text = render_summary(write_demo_trace(monkeypatch, tmp_path))
+        assert "run=demo" in text
+        assert "cli/demo" in text
+        assert "sim/run" in text
+        assert "sim.slot" in text
+        assert "sim.slots" in text
+        assert "dqn.epsilon" in text
+        assert "exec.dispatch_seconds" in text
+        assert "p99" in text
+
+    def test_top_limits_listing(self, monkeypatch, tmp_path):
+        target = tmp_path / "RUN_many.jsonl"
+        monkeypatch.setenv(trace.TRACE_ENV, str(target))
+        trace.reset()
+        for i in range(5):
+            METRICS.inc(f"counter.{i}")
+        trace.event("seed")  # force the file open
+        trace.finish_run()
+        text = render_summary(target, top=2)
+        assert "counters (5)" in text
+        assert text.count("counter.") == 2
+
+
+class TestObsCommand:
+    def test_cli_renders_trace(self, monkeypatch, tmp_path, capsys):
+        target = write_demo_trace(monkeypatch, tmp_path)
+        # The obs command reads traces and must not truncate/extend the
+        # file it is summarising even with REPRO_TRACE still pointing there.
+        size_before = target.stat().st_size
+        assert main(["obs", str(target)]) == 0
+        out = capsys.readouterr().out
+        assert "cli/demo" in out
+        assert target.stat().st_size == size_before
+
+    def test_cli_missing_trace_fails(self, tmp_path, capsys):
+        assert main(["obs", str(tmp_path / "nope.jsonl")]) == 1
+
+    def test_fresh_process_obs_does_not_append(self, monkeypatch, tmp_path):
+        """REPRO_TRACE still set + no prior run state (a fresh process):
+        the obs command must not lazily open the trace and append to it."""
+        target = write_demo_trace(monkeypatch, tmp_path)
+        trace.reset()  # back to the pristine lazy state of a new process
+        size_before = target.stat().st_size
+        assert main(["obs", str(target)]) == 0
+        assert target.stat().st_size == size_before
