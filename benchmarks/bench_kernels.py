@@ -1,0 +1,190 @@
+"""Microbenchmarks for the simulation/training fast-path kernels.
+
+Times each optimised kernel against the reference implementation it
+replaced (and is pinned bit-identical to by the equivalence suites):
+
+* PER lookup — memoised :class:`repro.channel.link.LinkTable` vs direct
+  :class:`repro.channel.link.LinkBudget` evaluation,
+* Viterbi decode — vectorised ACS vs the per-state reference loop,
+* batched DQN stepping — stacked ε-greedy act / TD update across N seeds
+  vs N serial single-agent calls.
+
+Stage wall-clocks land in ``benchmarks/results/BENCH_kernels.json``
+(with the speedup summary under ``"speedups"`` and the PER-cache
+hit/miss counters in the ``"metrics"`` section). The committed baseline
+in ``benchmarks/baselines/`` gates regressions via ``repro bench diff``.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from conftest import RESULTS_DIR
+
+from repro.channel.link import Interferer, JammerSignalType, LinkBudget, LinkTable
+from repro.core.dqn import DQNAgent, DQNConfig, EpsilonSchedule
+from repro.core.vecenv import _StackedMLP, _batched_act, _batched_train_step
+from repro.exec import timing
+from repro.phy import convolutional as C
+from repro.rng import derive
+
+#: Speedups recorded into the artifact, filled as the tests run.
+SPEEDUPS: dict[str, float] = {}
+
+
+def _timed(stage: str, fn, repeats: int, *, rounds: int = 3) -> float:
+    """Best-of-``rounds`` wall-clock of ``repeats`` calls to ``fn``.
+
+    Scheduler noise only ever adds time, so the minimum round is the
+    stable estimate; it is what lands in the timing registry (and thus
+    the BENCH artifact) under ``stage``.
+    """
+    best = float("inf")
+    for _ in range(rounds):
+        start = time.perf_counter()
+        for _ in range(repeats):
+            fn()
+        best = min(best, time.perf_counter() - start)
+    timing.REGISTRY.record(stage, best, items=repeats)
+    return best
+
+
+def _write_artifact() -> None:
+    timing.write_bench("kernels", directory=RESULTS_DIR, extra={"speedups": dict(SPEEDUPS)})
+
+
+def test_per_lookup_speedup():
+    budget = LinkBudget()
+    table = LinkTable(budget)
+    signals = np.linspace(-90.0, -40.0, 25)
+    # Jammed-slot conditions: the cache's hot regime is the jamming window,
+    # where every frame pays at least one interferer's SINR computation —
+    # and contested slots in the heterogeneous testbed routinely stack the
+    # jammer on top of concurrent neighbour traffic.
+    wifi = Interferer(power_dbm=-40.0, signal_type=JammerSignalType.WIFI)
+    emu = Interferer(power_dbm=-45.0, signal_type=JammerSignalType.EMUBEE)
+    zig = Interferer(power_dbm=-60.0, signal_type=JammerSignalType.ZIGBEE)
+    combos = [(zig,), (emu, zig), (wifi, zig), (emu, wifi, zig)]
+    signals = [float(s) for s in signals]
+
+    def grid(per_fn):
+        for signal in signals:
+            for combo in combos:
+                per_fn(float(signal), 68, combo)
+
+    def direct():
+        grid(lambda s, o, c: budget.packet_error_rate(s, o, list(c)))
+
+    def cached():
+        grid(table.packet_error_rate)
+
+    cached()  # warm the table: steady-state lookups are what the sim pays
+    direct_s = _timed("kernels.per_lookup.direct", direct, repeats=40)
+    cached_s = _timed("kernels.per_lookup.cached", cached, repeats=40)
+    SPEEDUPS["per_lookup"] = direct_s / cached_s
+    assert table.hit_rate > 0.97  # only the warm-up pass misses
+    _write_artifact()
+    assert SPEEDUPS["per_lookup"] >= 5.0
+
+
+def test_viterbi_speedup():
+    rng = np.random.default_rng(0)
+    msg = rng.integers(0, 2, size=994)
+    coded = C.conv_encode(np.concatenate([msg, np.zeros(6, dtype=np.int64)]))
+    noisy = coded.copy()
+    noisy[rng.choice(coded.size, size=40, replace=False)] ^= 1
+
+    reference_s = _timed(
+        "kernels.viterbi.reference",
+        lambda: C.viterbi_decode_reference(noisy, terminated=True),
+        repeats=3,
+    )
+    vectorized_s = _timed(
+        "kernels.viterbi.vectorized",
+        lambda: C.viterbi_decode(noisy, terminated=True),
+        repeats=3,
+    )
+    SPEEDUPS["viterbi"] = reference_s / vectorized_s
+
+    encode_ref_s = _timed(
+        "kernels.conv_encode.reference",
+        lambda: C.conv_encode_reference(msg),
+        repeats=10,
+    )
+    encode_vec_s = _timed(
+        "kernels.conv_encode.vectorized",
+        lambda: C.conv_encode(msg),
+        repeats=10,
+    )
+    SPEEDUPS["conv_encode"] = encode_ref_s / encode_vec_s
+    _write_artifact()
+    assert SPEEDUPS["viterbi"] >= 5.0
+    assert SPEEDUPS["conv_encode"] >= 5.0
+
+
+def _fresh_agents(n: int):
+    cfg = DQNConfig(
+        observation_size=15,
+        num_actions=160,
+        hidden_sizes=(64, 64),
+        batch_size=64,
+        warmup_transitions=256,
+        replay_capacity=4000,
+        epsilon=EpsilonSchedule(1.0, 0.1, 2000),
+    )
+    agents = [DQNAgent(cfg, seed=derive(s, "train-agent")) for s in range(n)]
+    rng = np.random.default_rng(1)
+    for agent in agents:
+        obs = rng.standard_normal((512, cfg.observation_size))
+        nxt = rng.standard_normal((512, cfg.observation_size))
+        agent.replay.push_many(
+            obs,
+            rng.integers(0, cfg.num_actions, size=512),
+            rng.standard_normal(512),
+            nxt,
+        )
+    return cfg, agents
+
+
+def test_batched_dqn_stepping():
+    n = 8
+    cfg, agents = _fresh_agents(n)
+    stack = _StackedMLP(agents)
+    rng = np.random.default_rng(2)
+    obs = rng.standard_normal((n, cfg.observation_size))
+
+    serial_act_s = _timed(
+        "kernels.act.serial",
+        lambda: [agent.act(obs[i]) for i, agent in enumerate(agents)],
+        repeats=300,
+    )
+    batched_act_s = _timed(
+        "kernels.act.batched",
+        lambda: _batched_act(stack, agents, obs),
+        repeats=300,
+    )
+    SPEEDUPS["act"] = serial_act_s / batched_act_s
+
+    # Separate populations so the timed paths don't share rng/optimizer state.
+    _, serial_agents = _fresh_agents(n)
+    serial_learn_s = _timed(
+        "kernels.learn.serial",
+        lambda: [
+            agent.train_on(agent.replay.sample(cfg.batch_size))
+            for agent in serial_agents
+        ],
+        repeats=60,
+    )
+    batched_learn_s = _timed(
+        "kernels.learn.batched",
+        lambda: _batched_train_step(stack, agents),
+        repeats=60,
+    )
+    SPEEDUPS["learn"] = serial_learn_s / batched_learn_s
+    _write_artifact()
+    # The batched paths amortise N forward/backward passes into one; they
+    # must at least beat the serial loop (the big wins are asserted above).
+    assert SPEEDUPS["act"] > 1.0
+    assert SPEEDUPS["learn"] > 1.0

@@ -18,7 +18,7 @@ from functools import lru_cache
 
 import numpy as np
 
-from repro.channel.link import JammerSignalType, LinkBudget
+from repro.channel.link import JammerSignalType, LinkTable
 from repro.constants import WIFI_TX_POWER_DBM, ZIGBEE_TX_POWER_DBM
 from repro.core.dqn import DQNAgent
 from repro.core.envs import SweepJammingEnv
@@ -66,7 +66,9 @@ def fig2b_jamming_effect(
     packet_octets: int = 60,
 ) -> list[JammingEffectRow]:
     """PER and throughput vs jamming distance for the three signals."""
-    budget = LinkBudget()
+    # The memoised table shares Gauss–Hermite quadrature points across the
+    # three signal curves (bit-identical to calling the budget directly).
+    table = LinkTable()
     signals = {
         "EmuBee": (JammerSignalType.EMUBEE, WIFI_TX_POWER_DBM),
         "WiFi": (JammerSignalType.WIFI, WIFI_TX_POWER_DBM),
@@ -77,7 +79,7 @@ def fig2b_jamming_effect(
         per = {}
         tput = {}
         for name, (sig, tx) in signals.items():
-            p = budget.jamming_per(
+            p = table.jamming_per(
                 link_distance_m=link_distance_m,
                 jammer_distance_m=float(d),
                 signal_type=sig,

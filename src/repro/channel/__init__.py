@@ -8,7 +8,13 @@ noise-like Wi-Fi interference but not against waveform-correlated
 ZigBee/EmuBee chips (paper §II-A-2, Fig. 2(b)).
 """
 
-from repro.channel.link import JammerSignalType, LinkBudget, zigbee_ber_awgn
+from repro.channel.link import (
+    JammerSignalType,
+    LinkBudget,
+    LinkTable,
+    resolve_per_cache_capacity,
+    zigbee_ber_awgn,
+)
 from repro.channel.medium import Medium, Placement
 from repro.channel.noise import db_to_linear, dbm_to_watts, linear_to_db, thermal_noise_dbm, watts_to_dbm
 from repro.channel.propagation import LogDistancePathLoss
@@ -30,6 +36,8 @@ from repro.channel.waveform import (
 __all__ = [
     "JammerSignalType",
     "LinkBudget",
+    "LinkTable",
+    "resolve_per_cache_capacity",
     "zigbee_ber_awgn",
     "Medium",
     "Placement",

@@ -20,7 +20,10 @@ from __future__ import annotations
 
 import enum
 import math
+import os
+from collections import OrderedDict
 from dataclasses import dataclass, field
+from functools import lru_cache
 
 import numpy as np
 from scipy.stats import binom
@@ -38,6 +41,7 @@ from repro.channel.noise import (
 from repro.channel.propagation import LogDistancePathLoss
 from repro.channel.spectrum import inband_power_fraction
 from repro.errors import ChannelError
+from repro.obs.metrics import METRICS
 from repro.phy.zigbee import CHIPS_PER_SYMBOL
 
 #: Fraction of an EmuBee burst's transmit power that lands in the target
@@ -58,6 +62,38 @@ CHIP_DECISION_RADIUS = 6
 #: Logistic slope (dB) of the chip-flip probability versus jammer margin.
 CHIP_FLIP_SLOPE_DB = 2.0
 
+#: Environment variable controlling the :class:`LinkTable` cache capacity.
+#: Unset/empty keeps the default; ``0`` or ``off`` disables memoisation.
+PER_CACHE_ENV = "REPRO_PER_CACHE"
+
+#: Default number of memoised PER entries per :class:`LinkTable`.
+DEFAULT_PER_CACHE_CAPACITY = 1 << 16
+
+
+def resolve_per_cache_capacity(value: int | str | None = None) -> int:
+    """Resolve the PER-cache capacity from an override or ``REPRO_PER_CACHE``.
+
+    ``None`` (and an unset/empty environment) selects
+    :data:`DEFAULT_PER_CACHE_CAPACITY`; ``0``, ``off`` or ``none`` disable
+    caching entirely.
+    """
+    if value is None:
+        value = os.environ.get(PER_CACHE_ENV)
+    if value is None or value == "":
+        return DEFAULT_PER_CACHE_CAPACITY
+    if isinstance(value, str) and value.strip().lower() in ("off", "none"):
+        return 0
+    try:
+        capacity = int(value)
+    except (TypeError, ValueError):
+        raise ChannelError(
+            f"invalid PER cache capacity {value!r}; expected an integer, "
+            f"'off', or 'none'"
+        ) from None
+    if capacity < 0:
+        raise ChannelError(f"PER cache capacity must be >= 0, got {capacity}")
+    return capacity
+
 
 class JammerSignalType(enum.Enum):
     """The three jamming signals compared in paper Fig. 2(b)."""
@@ -72,7 +108,7 @@ class JammerSignalType(enum.Enum):
         return self is not JammerSignalType.WIFI
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, eq=True)
 class Interferer:
     """One concurrent interfering transmission as seen by the victim."""
 
@@ -80,6 +116,30 @@ class Interferer:
     signal_type: JammerSignalType
     #: Spectral distance between interferer and victim band centres, MHz.
     center_offset_mhz: float = 0.0
+
+    def __post_init__(self) -> None:
+        # Interferers sit inside LinkTable cache keys, where every dict
+        # probe re-hashes the key; caching the (immutable) hash keeps the
+        # memoised-PER hit path out of dataclass __hash__.
+        object.__setattr__(
+            self,
+            "_hash",
+            hash((self.power_dbm, self.signal_type, self.center_offset_mhz)),
+        )
+
+    def __hash__(self) -> int:
+        return self._hash
+
+
+@lru_cache(maxsize=1 << 16)
+def _ber_awgn_cached(sinr_linear: float) -> float:
+    total = 0.0
+    for k in range(2, 17):
+        total += (-1) ** k * math.comb(16, k) * math.exp(
+            20.0 * sinr_linear * (1.0 / k - 1.0)
+        )
+    ber = (8.0 / 15.0) * (1.0 / 16.0) * total
+    return min(max(ber, 0.0), 0.5)
 
 
 def zigbee_ber_awgn(sinr_linear: float) -> float:
@@ -90,17 +150,13 @@ def zigbee_ber_awgn(sinr_linear: float) -> float:
         BER = (8/15) * (1/16) * sum_{k=2}^{16} (-1)^k C(16,k) exp(20*SINR*(1/k - 1))
 
     ``sinr_linear`` is the post-despreading signal-to-(noise+interference)
-    ratio as a linear power ratio.
+    ratio as a linear power ratio. The SINR space is continuous but the
+    discrete action/topology grids of the simulators revisit the same values
+    constantly, so the 15-term series is memoised on the exact float input.
     """
     if sinr_linear < 0:
         raise ChannelError(f"SINR must be non-negative, got {sinr_linear}")
-    total = 0.0
-    for k in range(2, 17):
-        total += (-1) ** k * math.comb(16, k) * math.exp(
-            20.0 * sinr_linear * (1.0 / k - 1.0)
-        )
-    ber = (8.0 / 15.0) * (1.0 / 16.0) * total
-    return min(max(ber, 0.0), 0.5)
+    return _ber_awgn_cached(float(sinr_linear))
 
 
 def chip_flip_probability(jam_margin_db: float, slope_db: float = CHIP_FLIP_SLOPE_DB) -> float:
@@ -117,16 +173,23 @@ def chip_flip_probability(jam_margin_db: float, slope_db: float = CHIP_FLIP_SLOP
     return 0.5 / (1.0 + math.exp(-jam_margin_db / slope_db))
 
 
+@lru_cache(maxsize=1 << 16)
+def _chip_ser_cached(q: float) -> float:
+    return float(binom.sf(CHIP_DECISION_RADIUS, CHIPS_PER_SYMBOL, q))
+
+
 def symbol_error_from_chip_flips(chip_flip_prob: float) -> float:
     """Symbol error rate given i.i.d. chip flips with probability ``q``.
 
     The correlation decoder errs when more than :data:`CHIP_DECISION_RADIUS`
-    of the 32 chips are wrong (half the PN set's minimum distance).
+    of the 32 chips are wrong (half the PN set's minimum distance). The
+    binomial tail (a SciPy special-function call) is memoised on the exact
+    float input — the discrete jammer grids revisit the same margins.
     """
     q = float(chip_flip_prob)
     if not 0.0 <= q <= 0.5 + 1e-12:
         raise ChannelError(f"chip flip probability must be in [0, 0.5], got {q}")
-    return float(binom.sf(CHIP_DECISION_RADIUS, CHIPS_PER_SYMBOL, min(q, 0.5)))
+    return _chip_ser_cached(min(q, 0.5))
 
 
 def packet_error_rate(symbol_error: float, n_symbols: int) -> float:
@@ -247,6 +310,7 @@ class LinkBudget:
         jammer_tx_dbm: float,
         packet_octets: int = 60,
         shadowing_sigma_db: float = 4.0,
+        _per_fn=None,
     ) -> float:
         """Mean PER of the victim link with a jammer at ``jammer_distance_m``.
 
@@ -254,14 +318,17 @@ class LinkBudget:
         (Gauss–Hermite quadrature), which smooths the PER-vs-distance
         waterfall into the gradual curves of Fig. 2(b). Pass
         ``shadowing_sigma_db=0`` for the deterministic link budget.
+        ``_per_fn`` lets :class:`LinkTable` substitute its memoised
+        per-point PER without changing any numeric result.
         """
         if shadowing_sigma_db < 0:
             raise ChannelError("shadowing sigma must be non-negative")
+        per_fn = _per_fn if _per_fn is not None else self.packet_error_rate
         signal = self.propagation.received_power_dbm(victim_tx_dbm, link_distance_m)
         jam = self.propagation.received_power_dbm(jammer_tx_dbm, jammer_distance_m)
         if shadowing_sigma_db == 0.0:
             itf = Interferer(power_dbm=jam, signal_type=signal_type)
-            return self.packet_error_rate(signal, packet_octets, [itf])
+            return per_fn(signal, packet_octets, [itf])
         nodes, weights = np.polynomial.hermite_e.hermegauss(15)
         total = 0.0
         for x, w in zip(nodes, weights):
@@ -269,10 +336,187 @@ class LinkBudget:
                 power_dbm=jam + shadowing_sigma_db * float(x),
                 signal_type=signal_type,
             )
-            total += float(w) * self.packet_error_rate(
-                signal, packet_octets, [itf]
-            )
+            total += float(w) * per_fn(signal, packet_octets, [itf])
         return total / float(weights.sum())
+
+
+class LinkTable:
+    """Memoised façade over a :class:`LinkBudget` — the exact-PER fast path.
+
+    The per-slot simulators draw channels, power levels, jammer signals, and
+    node positions from finite sets, so the (signal, packet size, interferer
+    tuple) inputs of :meth:`LinkBudget.packet_error_rate` repeat constantly.
+    This table keys a bounded LRU cache on the *exact* float inputs, making
+    it bit-identical to the direct computation by construction: a hit returns
+    the very float a previous miss computed, and a never-seen key always
+    falls through to the budget.
+
+    Capacity comes from ``REPRO_PER_CACHE`` unless overridden (``0`` or
+    ``off`` disables memoisation and turns the table into a transparent
+    pass-through). Hits and misses are counted into the global
+    :data:`repro.obs.metrics.METRICS` registry under
+    ``link.per_cache_hits`` / ``link.per_cache_misses`` so every
+    ``BENCH_*.json`` artifact carries the cache hit rate.
+    """
+
+    def __init__(
+        self,
+        budget: LinkBudget | None = None,
+        *,
+        capacity: int | str | None = None,
+    ) -> None:
+        self.budget = budget if budget is not None else LinkBudget()
+        self.capacity = resolve_per_cache_capacity(capacity)
+        self._per: OrderedDict[tuple, float] = OrderedDict()
+        self._jam: OrderedDict[tuple, float] = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        # Counter objects bound once: the hit path runs per simulated slot,
+        # so it must not pay a registry name lookup per call.
+        self._hit_counter = METRICS.counter("link.per_cache_hits")
+        self._miss_counter = METRICS.counter("link.per_cache_misses")
+
+    @property
+    def enabled(self) -> bool:
+        return self.capacity > 0
+
+    def __len__(self) -> int:
+        return len(self._per) + len(self._jam)
+
+    # -- cache plumbing -------------------------------------------------------
+
+    def _lookup(self, cache: OrderedDict, key: tuple, compute) -> float:
+        hit = cache.get(key)
+        if hit is not None:
+            cache.move_to_end(key)
+            self.hits += 1
+            self._hit_counter.inc()
+            return hit
+        value = compute()
+        self.misses += 1
+        self._miss_counter.inc()
+        cache[key] = value
+        if len(cache) > self.capacity:
+            cache.popitem(last=False)
+        return value
+
+    @staticmethod
+    def _per_key(
+        signal_dbm: float, packet_octets: int, interferers
+    ) -> tuple:
+        return (float(signal_dbm), int(packet_octets), tuple(interferers or ()))
+
+    # -- memoised queries -----------------------------------------------------
+
+    def packet_error_rate(
+        self,
+        signal_dbm: float,
+        packet_octets: int,
+        interferers: list[Interferer] | tuple[Interferer, ...] | None = None,
+    ) -> float:
+        """Memoised :meth:`LinkBudget.packet_error_rate` (bit-identical)."""
+        if not self.enabled:
+            return self.budget.packet_error_rate(
+                signal_dbm, packet_octets, list(interferers or ())
+            )
+        # Inlined hit path (no closure, no helper frame): this runs once per
+        # simulated slot and its overhead is what bounds the cache speedup.
+        key = (
+            float(signal_dbm),
+            int(packet_octets),
+            tuple(interferers) if interferers else (),
+        )
+        cache = self._per
+        hit = cache.get(key)
+        if hit is not None:
+            cache.move_to_end(key)
+            self.hits += 1
+            self._hit_counter.inc()
+            return hit
+        value = self.budget.packet_error_rate(
+            signal_dbm, packet_octets, list(interferers or ())
+        )
+        self.misses += 1
+        self._miss_counter.inc()
+        cache[key] = value
+        if len(cache) > self.capacity:
+            cache.popitem(last=False)
+        return value
+
+    def jamming_per(self, **kwargs) -> float:
+        """Memoised :meth:`LinkBudget.jamming_per`.
+
+        The whole-result cache is keyed on the keyword tuple; on a miss the
+        quadrature runs with this table's memoised per-point PER, so the 15
+        Gauss–Hermite nodes also share work across calls.
+        """
+        if not self.enabled:
+            return self.budget.jamming_per(**kwargs)
+        key = tuple(sorted(kwargs.items()))
+        return self._lookup(
+            self._jam,
+            key,
+            lambda: self.budget.jamming_per(
+                **kwargs, _per_fn=self.packet_error_rate
+            ),
+        )
+
+    # -- bulk precompute ------------------------------------------------------
+
+    def precompute(
+        self,
+        signal_dbm_values,
+        packet_octets_values,
+        interferer_sets,
+    ) -> int:
+        """Fill the PER grid for a topology in one pass.
+
+        ``interferer_sets`` is an iterable of interferer tuples (an empty
+        tuple means the clean link). Returns the number of entries newly
+        computed; already-cached points are skipped, so calling this twice
+        is free. Intended to run once per topology before a hot loop.
+        """
+        if not self.enabled:
+            return 0
+        inserted = 0
+        for signal in signal_dbm_values:
+            for octets in packet_octets_values:
+                for interferers in interferer_sets:
+                    combo = tuple(interferers)
+                    key = self._per_key(signal, octets, combo)
+                    if key in self._per:
+                        continue
+                    self._per[key] = self.budget.packet_error_rate(
+                        float(signal), int(octets), list(combo)
+                    )
+                    if len(self._per) > self.capacity:
+                        self._per.popitem(last=False)
+                    inserted += 1
+        if inserted:
+            METRICS.inc("link.per_cache_precomputed", inserted)
+        return inserted
+
+    # -- introspection --------------------------------------------------------
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def stats(self) -> dict:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "hit_rate": self.hit_rate,
+            "entries": len(self),
+            "capacity": self.capacity,
+        }
+
+    def clear(self) -> None:
+        self._per.clear()
+        self._jam.clear()
+        self.hits = 0
+        self.misses = 0
 
 
 __all__ = [
@@ -280,6 +524,9 @@ __all__ = [
     "EMULATION_LOSS_DB",
     "CHIP_DECISION_RADIUS",
     "CHIP_FLIP_SLOPE_DB",
+    "PER_CACHE_ENV",
+    "DEFAULT_PER_CACHE_CAPACITY",
+    "resolve_per_cache_capacity",
     "JammerSignalType",
     "Interferer",
     "zigbee_ber_awgn",
@@ -287,4 +534,5 @@ __all__ = [
     "symbol_error_from_chip_flips",
     "packet_error_rate",
     "LinkBudget",
+    "LinkTable",
 ]

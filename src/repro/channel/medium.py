@@ -12,7 +12,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.channel.link import Interferer, JammerSignalType, LinkBudget
+from repro.channel.link import Interferer, JammerSignalType, LinkBudget, LinkTable
 from repro.channel.propagation import LogDistancePathLoss, distance
 from repro.channel.spectrum import zigbee_channel_frequency_mhz
 from repro.errors import ChannelError
@@ -56,6 +56,11 @@ class Medium:
     ) -> None:
         self.propagation = propagation or LogDistancePathLoss()
         self.link_budget = link_budget or LinkBudget(propagation=self.propagation)
+        #: Exact-PER memoisation table all frame outcomes route through.
+        #: Keys are the exact link-budget inputs, so results are
+        #: bit-identical to calling the budget directly (REPRO_PER_CACHE=0
+        #: disables it).
+        self.link_table = LinkTable(self.link_budget)
         self.busy_threshold_dbm = busy_threshold_dbm
         self._rng = make_rng(seed)
         self._placements: dict[str, Placement] = {}
@@ -144,7 +149,7 @@ class Medium:
         interferers = self._interferers_at(
             rx, zigbee_channel, active or [], exclude={tx}
         )
-        per = self.link_budget.packet_error_rate(signal, packet_octets, interferers)
+        per = self.link_table.packet_error_rate(signal, packet_octets, interferers)
         delivered = bool(self._rng.random() >= per)
         METRICS.inc("phy.frames")
         if not delivered:

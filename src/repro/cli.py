@@ -7,6 +7,7 @@ Commands
 ``figure``   Regenerate one of the paper's figures as an ASCII table.
 ``emulate``  Run the EmuBee emulation pipeline on a hex payload.
 ``obs``      Summarise a ``RUN_<name>.jsonl`` observability trace.
+``bench``    Compare a ``BENCH_<name>.json`` artifact against a baseline.
 
 Results (tables, figures, emulation output) go to stdout; status chatter
 goes through the :mod:`repro.obs.log` structured logger on stderr and can
@@ -17,8 +18,10 @@ every command writes a JSONL trace readable by ``repro obs``.
 from __future__ import annotations
 
 import argparse
+import json
 import os
 import sys
+from pathlib import Path
 
 from repro.analysis import figures as figures_mod
 from repro.analysis.stats import summarize
@@ -31,6 +34,7 @@ from repro.core.trainer import (
     train_dqn,
     train_dqn_multi_seed,
 )
+from repro.core.vecenv import ENV_BATCH_ENV
 from repro.errors import ReproError
 from repro.exec import (
     MAX_RETRIES_ENV,
@@ -119,6 +123,8 @@ def _apply_exec_options(args: argparse.Namespace) -> None:
         os.environ[ON_ERROR_ENV] = str(args.on_error)
     if getattr(args, "max_retries", None) is not None:
         os.environ[MAX_RETRIES_ENV] = str(args.max_retries)
+    if getattr(args, "env_batch", None) is not None:
+        os.environ[ENV_BATCH_ENV] = str(args.env_batch)
 
 
 def cmd_train(args: argparse.Namespace) -> int:
@@ -312,6 +318,91 @@ def cmd_emulate(args: argparse.Namespace) -> int:
     return 0
 
 
+#: Stages faster than this in the baseline are compared on absolute slack
+#: rather than ratio: at sub-50 ms scales, scheduler noise alone produces
+#: multi-x ratios that say nothing about the code.
+BENCH_NOISE_FLOOR_S = 0.05
+
+
+def _load_bench_stages(path: Path) -> dict[str, float]:
+    """Stage name -> wall-clock seconds from a ``BENCH_<name>.json``."""
+    try:
+        doc = json.loads(path.read_text())
+    except FileNotFoundError:
+        raise ReproError(f"benchmark artifact not found: {path}") from None
+    except json.JSONDecodeError as exc:
+        raise ReproError(f"benchmark artifact is not valid JSON: {path}: {exc}") from None
+    stages = doc.get("stages")
+    if not isinstance(stages, dict):
+        raise ReproError(f"no 'stages' section in benchmark artifact: {path}")
+    return {
+        name: float(stats.get("seconds", 0.0)) for name, stats in stages.items()
+    }
+
+
+def cmd_bench(args: argparse.Namespace) -> int:
+    """``repro bench diff``: fail on wall-clock regressions vs a baseline.
+
+    Compares stage seconds in the current ``BENCH_<name>.json`` against the
+    committed baseline. A stage regresses when it is more than
+    ``--threshold`` times slower than the baseline *and* the baseline is
+    above the noise floor (tiny stages are judged on absolute slack
+    instead). Stages present on only one side are reported but never fail
+    the diff — benchmarks gain and lose stages across PRs.
+    """
+    current_path = Path(args.current)
+    baseline_path = (
+        Path(args.baseline)
+        if args.baseline is not None
+        else Path("benchmarks/baselines") / current_path.name
+    )
+    current = _load_bench_stages(current_path)
+    baseline = _load_bench_stages(baseline_path)
+    threshold = args.threshold
+    if threshold <= 1.0:
+        raise ReproError("--threshold must be > 1.0")
+
+    rows = []
+    regressions = []
+    for name in sorted(set(baseline) | set(current)):
+        base_s = baseline.get(name)
+        cur_s = current.get(name)
+        if base_s is None:
+            rows.append([name, "-", f"{cur_s:.4f}", "-", "new"])
+            continue
+        if cur_s is None:
+            rows.append([name, f"{base_s:.4f}", "-", "-", "removed"])
+            continue
+        ratio = cur_s / base_s if base_s > 0 else float("inf")
+        if base_s < BENCH_NOISE_FLOOR_S:
+            # Below the floor, only an absolute blow-up past the floor
+            # scaled by the threshold counts as a regression.
+            regressed = cur_s > BENCH_NOISE_FLOOR_S * threshold
+            verdict = "ok (noise floor)" if not regressed else "REGRESSED"
+        else:
+            regressed = ratio > threshold
+            verdict = "ok" if not regressed else "REGRESSED"
+        if regressed:
+            regressions.append(name)
+        rows.append([name, f"{base_s:.4f}", f"{cur_s:.4f}", f"{ratio:.2f}x", verdict])
+    print(
+        render_table(
+            ["stage", "baseline (s)", "current (s)", "ratio", "verdict"],
+            rows,
+            title=f"bench diff vs {baseline_path} (threshold {threshold:g}x)",
+        )
+    )
+    if regressions:
+        log.error(
+            "wall-clock regression detected",
+            stages=",".join(regressions),
+            threshold=f"{threshold:g}x",
+        )
+        return 1
+    log.info("no wall-clock regressions", stages=len(rows))
+    return 0
+
+
 def cmd_obs(args: argparse.Namespace) -> int:
     # Imported lazily: the summary renderer is only needed by this command.
     from repro.obs.summary import render_summary
@@ -357,6 +448,13 @@ def build_parser() -> argparse.ArgumentParser:
         "'auto' = one per CPU)",
     )
     _add_fault_args(p)
+    p.add_argument(
+        "--env-batch",
+        default=None,
+        help="seeds trained lock-step inside one pool task (overrides "
+        "REPRO_ENV_BATCH; '1' or 'off' restores one task per seed); "
+        "bit-identical to the serial runs for any setting",
+    )
     p.add_argument("--save", help="path for the .npz parameter artifact")
     p.set_defaults(func=cmd_train)
 
@@ -393,6 +491,25 @@ def build_parser() -> argparse.ArgumentParser:
         help="how many counters/events to list (default 10)",
     )
     p.set_defaults(func=cmd_obs)
+
+    p = sub.add_parser(
+        "bench", help="compare a BENCH_<name>.json against a committed baseline"
+    )
+    p.add_argument("action", choices=["diff"], help="comparison to run")
+    p.add_argument("current", help="freshly generated BENCH_<name>.json")
+    p.add_argument(
+        "--baseline",
+        default=None,
+        help="baseline artifact (default: benchmarks/baselines/<same name>)",
+    )
+    p.add_argument(
+        "--threshold",
+        type=float,
+        default=2.0,
+        help="fail when a stage is more than this many times slower than "
+        "the baseline (default 2.0)",
+    )
+    p.set_defaults(func=cmd_bench)
     return parser
 
 

@@ -40,7 +40,15 @@ from repro.core.solver import (
     stay_q_profile,
     value_iteration,
 )
-from repro.core.trainer import TrainerConfig, TrainingResult, evaluate_dqn, train_dqn
+from repro.core.trainer import (
+    MultiSeedResult,
+    TrainerConfig,
+    TrainingResult,
+    evaluate_dqn,
+    train_dqn,
+    train_dqn_multi_seed,
+)
+from repro.core.vecenv import VectorEnv, resolve_env_batch, train_dqn_batch
 
 __all__ = [
     "MaxPowerPolicy",
@@ -80,8 +88,13 @@ __all__ = [
     "policy_iteration",
     "stay_q_profile",
     "value_iteration",
+    "MultiSeedResult",
     "TrainerConfig",
     "TrainingResult",
     "evaluate_dqn",
     "train_dqn",
+    "train_dqn_multi_seed",
+    "VectorEnv",
+    "resolve_env_batch",
+    "train_dqn_batch",
 ]

@@ -197,6 +197,7 @@ def train_dqn_multi_seed(
     history_length: int = 5,
     workers: int | str | None = None,
     policy: FaultPolicy | None = None,
+    env_batch: int | str | None = None,
 ) -> MultiSeedResult:
     """Train one DQN per seed, fanning the runs out over a process pool.
 
@@ -205,22 +206,53 @@ def train_dqn_multi_seed(
     ``workers`` setting — ``REPRO_WORKERS=1`` reproduces the serial loop
     bit for bit, and a retried run reproduces a first-try run exactly.
 
+    ``env_batch`` (default: the ``REPRO_ENV_BATCH`` environment, falling
+    back to :data:`repro.core.vecenv.DEFAULT_ENV_BATCH`) groups that many
+    seeds into one lock-step :func:`repro.core.vecenv.train_dqn_batch`
+    task, amortising network forward/backward passes across the group
+    while staying bit-identical to the serial runs — so the process pool
+    and the in-process batch compose (processes × batch). ``1`` or
+    ``"off"`` restores one pool task per seed.
+
     ``policy`` (default: the ``REPRO_ON_ERROR``/``REPRO_MAX_RETRIES``
     environment) governs worker faults: with ``on_error="skip"`` the runs
     that crashed permanently are dropped from ``seeds``/``results`` and
     reported in :attr:`MultiSeedResult.failures` instead of sinking the
     surviving seeds; all seeds failing raises :class:`TrainingError`.
+    Under batching a crash costs the whole ``env_batch`` group, since the
+    group shares one pool task.
     """
+    from repro.core.vecenv import _train_batch_task, resolve_env_batch
+
     seed_list = tuple(int(s) for s in seeds)
     if not seed_list:
         raise TrainingError("need at least one seed")
+    batch = resolve_env_batch(env_batch)
     runner = ParallelRunner(workers, name="train_dqn_multi_seed.map", policy=policy)
-    raw = runner.map(
-        _train_task,
-        [(env_config, trainer, dqn, history_length, s) for s in seed_list],
-    )
-    failures = tuple(r for r in raw if isinstance(r, TaskFailure))
-    kept = [(s, r) for s, r in zip(seed_list, raw) if not isinstance(r, TaskFailure)]
+    if batch > 1:
+        chunks = [
+            seed_list[i : i + batch] for i in range(0, len(seed_list), batch)
+        ]
+        raw = runner.map(
+            _train_batch_task,
+            [(env_config, trainer, dqn, history_length, c) for c in chunks],
+        )
+        failures = tuple(r for r in raw if isinstance(r, TaskFailure))
+        kept = [
+            (s, result)
+            for chunk, group in zip(chunks, raw)
+            if not isinstance(group, TaskFailure)
+            for s, result in zip(chunk, group)
+        ]
+    else:
+        raw = runner.map(
+            _train_task,
+            [(env_config, trainer, dqn, history_length, s) for s in seed_list],
+        )
+        failures = tuple(r for r in raw if isinstance(r, TaskFailure))
+        kept = [
+            (s, r) for s, r in zip(seed_list, raw) if not isinstance(r, TaskFailure)
+        ]
     if not kept:
         raise TrainingError(
             f"all {len(seed_list)} training seeds failed; first failure "

@@ -1,0 +1,604 @@
+"""Lock-step multi-seed DQN training: N competitions, one set of tensor ops.
+
+:func:`repro.core.trainer.train_dqn` steps one environment and one network
+at a time, so a multi-seed study pays N forward/backward passes of batch
+size 64 where one pass of stacked shape (N, 64, ...) would do. This module
+runs N *independent* seeded competitions in lock-step:
+
+* :class:`VectorEnv` holds N :class:`~repro.core.envs.SweepJammingEnv`
+  instances, each with its own rng stream, and steps them together.
+* :func:`train_dqn_batch` builds N real :class:`~repro.core.dqn.DQNAgent`
+  objects (their rng streams, replay buffers, and counters are the source
+  of truth) but mirrors their network parameters and Adam state into
+  ``(N, ...)`` stacked tensors, so the ε-greedy ``act`` and the TD update
+  run as single 3-D ``matmul`` chains across all seeds.
+
+Bit-identity with the serial path is a hard invariant, not an
+approximation: stacked ``matmul``/reductions apply the same IEEE
+operations per slice as their 2-D counterparts, every per-seed rng stream
+consumes draws in exactly the serial order (streams are independent, so
+interleaving across seeds is irrelevant), and the per-seed training
+schedules are structurally aligned (replay buffers grow one transition
+per slot for every seed, so warm-up, train, and target-sync steps
+coincide). Seeds that hit ``reward_goal`` early exit at episode
+boundaries exactly like their serial runs: their slices are compacted out
+of the stacked tensors and their final weights written back. The
+equivalence suite pins per-seed rewards, losses, and final weights
+against N serial runs.
+
+The in-process batch width composes with the
+:class:`~repro.exec.ParallelRunner` process pool (processes × batch) via
+``train_dqn_multi_seed(env_batch=...)`` or ``REPRO_ENV_BATCH``.
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+
+from repro.core.dqn import DQNAgent, DQNConfig
+from repro.core.envs import StepInfo, SweepJammingEnv
+from repro.core.mdp import MDPConfig
+from repro.errors import TrainingError
+from repro.nn.layers import Dense, ReLU
+from repro.obs import trace as obs_trace
+from repro.obs.metrics import METRICS
+from repro.rng import SeedLike, derive
+
+#: Environment variable selecting the in-process seed-batch width used by
+#: ``train_dqn_multi_seed``. ``1``/``off`` restores the purely serial path.
+ENV_BATCH_ENV = "REPRO_ENV_BATCH"
+
+#: Default seeds trained per process when nothing is configured.
+DEFAULT_ENV_BATCH = 8
+
+
+def resolve_env_batch(value: int | str | None = None) -> int:
+    """Resolve the seed-batch width from an override or ``REPRO_ENV_BATCH``.
+
+    ``None`` (and an unset/empty environment) selects
+    :data:`DEFAULT_ENV_BATCH`; ``1``, ``off`` or ``none`` disable in-process
+    batching.
+    """
+    if value is None:
+        value = os.environ.get(ENV_BATCH_ENV, "")
+    if isinstance(value, str):
+        text = value.strip().lower()
+        if not text:
+            return DEFAULT_ENV_BATCH
+        if text in ("off", "none"):
+            return 1
+        try:
+            value = int(text)
+        except ValueError:
+            raise TrainingError(
+                f"{ENV_BATCH_ENV} must be an integer or 'off', got {value!r}"
+            ) from None
+    batch = int(value)
+    if batch < 1:
+        raise TrainingError(f"env batch must be >= 1, got {batch}")
+    return batch
+
+
+class VectorEnv:
+    """N independent seeded environments stepped in lock-step.
+
+    Each wrapped environment keeps its own rng stream, so stepping them
+    together produces exactly the trajectories of stepping each alone.
+    """
+
+    def __init__(self, envs: list[SweepJammingEnv]) -> None:
+        if not envs:
+            raise TrainingError("a VectorEnv needs at least one environment")
+        first = envs[0]
+        for env in envs[1:]:
+            if (
+                env.observation_size != first.observation_size
+                or env.num_actions != first.num_actions
+            ):
+                raise TrainingError(
+                    "all environments in a VectorEnv must share geometry"
+                )
+        self.envs = list(envs)
+
+    @classmethod
+    def from_seeds(
+        cls,
+        config: MDPConfig | None,
+        seeds,
+        *,
+        history_length: int,
+        stream: str = "train-env",
+    ) -> "VectorEnv":
+        """One env per seed, seeded exactly like the serial trainer."""
+        return cls(
+            [
+                SweepJammingEnv(
+                    config or MDPConfig(),
+                    history_length=history_length,
+                    seed=derive(int(s), stream),
+                )
+                for s in seeds
+            ]
+        )
+
+    @property
+    def num_envs(self) -> int:
+        return len(self.envs)
+
+    @property
+    def observation_size(self) -> int:
+        return self.envs[0].observation_size
+
+    @property
+    def num_actions(self) -> int:
+        return self.envs[0].num_actions
+
+    def reset(self) -> np.ndarray:
+        """Reset every environment; returns stacked observations (N, obs)."""
+        return np.stack([env.reset() for env in self.envs])
+
+    def step(
+        self, actions: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray, list[StepInfo]]:
+        """Advance every environment one slot.
+
+        Returns stacked next observations ``(N, obs)``, rewards ``(N,)``,
+        and the per-env :class:`StepInfo` records.
+        """
+        actions = np.asarray(actions).reshape(-1)
+        if actions.size != self.num_envs:
+            raise TrainingError(
+                f"expected {self.num_envs} actions, got {actions.size}"
+            )
+        obs, rewards, infos = [], [], []
+        for env, action in zip(self.envs, actions):
+            o, r, info = env.step_index(int(action))
+            obs.append(o)
+            rewards.append(r)
+            infos.append(info)
+        return np.stack(obs), np.array(rewards), infos
+
+    def select(self, indices) -> "VectorEnv":
+        """A VectorEnv over a subset of the wrapped environments."""
+        return VectorEnv([self.envs[i] for i in indices])
+
+
+class _StackedMLP:
+    """(N, ...) stacked mirror of N structurally identical online networks.
+
+    Holds stacked online parameters/gradients, stacked target parameters,
+    and stacked Adam state. All math runs as 3-D ``matmul`` + elementwise
+    ops, which apply per slice exactly the 2-D operations of the serial
+    :class:`repro.nn.network.Network`.
+    """
+
+    def __init__(self, agents: list[DQNAgent]) -> None:
+        template = agents[0].online.layers
+        self.spec: list[str] = []
+        for layer in template:
+            if isinstance(layer, Dense):
+                self.spec.append("dense")
+            elif isinstance(layer, ReLU):
+                self.spec.append("relu")
+            else:
+                raise TrainingError(
+                    f"batched training supports Dense/ReLU only, got "
+                    f"{type(layer).__name__}"
+                )
+        self.weights: list[np.ndarray] = []
+        self.biases: list[np.ndarray] = []
+        self.t_weights: list[np.ndarray] = []
+        self.t_biases: list[np.ndarray] = []
+        for li, kind in enumerate(self.spec):
+            if kind != "dense":
+                continue
+            self.weights.append(np.stack([a.online.layers[li].weight for a in agents]))
+            self.biases.append(np.stack([a.online.layers[li].bias for a in agents]))
+            self.t_weights.append(np.stack([a.target.layers[li].weight for a in agents]))
+            self.t_biases.append(np.stack([a.target.layers[li].bias for a in agents]))
+        self.grad_weights = [np.zeros_like(w) for w in self.weights]
+        self.grad_biases = [np.zeros_like(b) for b in self.biases]
+        # Adam state, created lazily like repro.nn.optimizers.Adam.
+        self.adam_m: list[np.ndarray] | None = None
+        self.adam_v: list[np.ndarray] | None = None
+        self.adam_t = 0
+        self._cache_inputs: list[np.ndarray] = []
+        self._cache_masks: list[np.ndarray] = []
+
+    @property
+    def num_stacked(self) -> int:
+        return self.weights[0].shape[0]
+
+    # -- forward/backward -----------------------------------------------------
+
+    def _forward(
+        self,
+        x: np.ndarray,
+        weights: list[np.ndarray],
+        biases: list[np.ndarray],
+        *,
+        cache: bool,
+    ) -> np.ndarray:
+        if cache:
+            self._cache_inputs.clear()
+            self._cache_masks.clear()
+        out = x
+        dense = 0
+        for kind in self.spec:
+            if kind == "dense":
+                if cache:
+                    self._cache_inputs.append(out)
+                out = np.matmul(out, weights[dense]) + biases[dense][:, None, :]
+                dense += 1
+            else:
+                mask = out > 0
+                if cache:
+                    self._cache_masks.append(mask)
+                out = np.where(mask, out, 0.0)
+        return out
+
+    def forward_online(self, x: np.ndarray, *, cache: bool = False) -> np.ndarray:
+        """Online-network forward over stacked input (N, B, obs)."""
+        return self._forward(x, self.weights, self.biases, cache=cache)
+
+    def forward_target(self, x: np.ndarray) -> np.ndarray:
+        return self._forward(x, self.t_weights, self.t_biases, cache=False)
+
+    def backward(self, grad: np.ndarray) -> None:
+        """Accumulate stacked parameter gradients from dL/d(output)."""
+        dense = len(self.weights) - 1
+        relu = len(self._cache_masks) - 1
+        for kind in reversed(self.spec):
+            if kind == "dense":
+                x = self._cache_inputs[dense]
+                self.grad_weights[dense] += np.matmul(x.transpose(0, 2, 1), grad)
+                self.grad_biases[dense] += grad.sum(axis=1)
+                grad = np.matmul(grad, self.weights[dense].transpose(0, 2, 1))
+                dense -= 1
+            else:
+                grad = grad * self._cache_masks[relu]
+                relu -= 1
+
+    def adam_step(self, optimizer) -> None:
+        """One stacked Adam update, mirroring ``Adam.step`` exactly."""
+        params = []
+        grads = []
+        for w, b, gw, gb in zip(
+            self.weights, self.biases, self.grad_weights, self.grad_biases
+        ):
+            params += [w, b]
+            grads += [gw, gb]
+        if self.adam_m is None:
+            self.adam_m = [np.zeros_like(p) for p in params]
+            self.adam_v = [np.zeros_like(p) for p in params]
+        self.adam_t += 1
+        beta1, beta2, eps = optimizer.beta1, optimizer.beta2, optimizer.epsilon
+        lr = optimizer.learning_rate
+        b1t = 1.0 - beta1**self.adam_t
+        b2t = 1.0 - beta2**self.adam_t
+        for p, g, m, v in zip(params, grads, self.adam_m, self.adam_v):
+            m *= beta1
+            m += (1.0 - beta1) * g
+            v *= beta2
+            v += (1.0 - beta2) * g * g
+            p -= lr * (m / b1t) / (np.sqrt(v / b2t) + eps)
+            g[...] = 0.0
+
+    # -- target sync ----------------------------------------------------------
+
+    def hard_sync(self) -> None:
+        for tw, w in zip(self.t_weights, self.weights):
+            tw[...] = w
+        for tb, b in zip(self.t_biases, self.biases):
+            tb[...] = b
+
+    def soft_sync(self, tau: float) -> None:
+        for tw, w in zip(self.t_weights, self.weights):
+            tw *= 1.0 - tau
+            tw += tau * w
+        for tb, b in zip(self.t_biases, self.biases):
+            tb *= 1.0 - tau
+            tb += tau * b
+
+    # -- slice management ------------------------------------------------------
+
+    def compact(self, keep: list[int]) -> None:
+        """Drop finished seeds' slices (matmul is per-slice for any N)."""
+        self.weights = [w[keep] for w in self.weights]
+        self.biases = [b[keep] for b in self.biases]
+        self.t_weights = [w[keep] for w in self.t_weights]
+        self.t_biases = [b[keep] for b in self.t_biases]
+        self.grad_weights = [g[keep] for g in self.grad_weights]
+        self.grad_biases = [g[keep] for g in self.grad_biases]
+        if self.adam_m is not None:
+            self.adam_m = [m[keep] for m in self.adam_m]
+            self.adam_v = [v[keep] for v in self.adam_v]
+        self._cache_inputs.clear()
+        self._cache_masks.clear()
+
+    def write_back(self, position: int, agent: DQNAgent) -> None:
+        """Copy slice ``position`` into the agent's real network/optimizer."""
+        weights: list[np.ndarray] = []
+        for w, b in zip(self.weights, self.biases):
+            weights += [w[position].copy(), b[position].copy()]
+        agent.online.set_weights(weights)
+        t_weights: list[np.ndarray] = []
+        for w, b in zip(self.t_weights, self.t_biases):
+            t_weights += [w[position].copy(), b[position].copy()]
+        agent.target.set_weights(t_weights)
+        if self.adam_t > 0:
+            agent.optimizer._m = [m[position].copy() for m in self.adam_m]
+            agent.optimizer._v = [v[position].copy() for v in self.adam_v]
+            agent.optimizer._t = self.adam_t
+
+
+def _batched_act(stack: _StackedMLP, agents: list[DQNAgent], obs: np.ndarray) -> np.ndarray:
+    """ε-greedy actions for all seeds from one stacked forward pass.
+
+    One (N, 1, obs) @ (N, obs, H) chain replaces N single-row forwards; the
+    exploration draws then run per agent on its own rng, in the exact order
+    ``DQNAgent.act`` consumes them.
+    """
+    q = stack.forward_online(obs[:, None, :])
+    best = q.argmax(axis=2)[:, 0]
+    actions = np.empty(len(agents), dtype=np.int64)
+    for i, agent in enumerate(agents):
+        if agent._rng.random() >= agent.epsilon:
+            actions[i] = best[i]
+        else:
+            draw = int(agent._rng.integers(agent.config.num_actions - 1))
+            actions[i] = draw + (draw >= best[i])
+    return actions
+
+
+def _batched_train_step(
+    stack: _StackedMLP, agents: list[DQNAgent]
+) -> np.ndarray:
+    """One TD(0) update for every seed; returns per-seed Huber losses.
+
+    Mirrors ``DQNAgent.train_on`` + ``Network.train_step`` operation for
+    operation on (N, B, ·) tensors; per-seed replay sampling stays on each
+    agent's own rng stream.
+    """
+    cfg = agents[0].config
+    batches = [agent.replay.sample(cfg.batch_size) for agent in agents]
+    obs = np.stack([b.observations for b in batches])
+    actions = np.stack([b.actions for b in batches])
+    rewards = np.stack([b.rewards for b in batches])
+    next_obs = np.stack([b.next_observations for b in batches])
+    n, batch_size = actions.shape
+
+    next_q_target = stack.forward_target(next_obs)
+    if cfg.double_dqn:
+        next_q_online = stack.forward_online(next_obs)
+        best_next = next_q_online.argmax(axis=2)
+        bootstrap = np.take_along_axis(
+            next_q_target, best_next[:, :, None], axis=2
+        )[:, :, 0]
+    else:
+        bootstrap = next_q_target.max(axis=2)
+    targets_for_actions = rewards + cfg.discount * bootstrap
+
+    prediction = stack.forward_online(obs, cache=True)
+    target = prediction.copy()
+    rows = np.arange(n)[:, None], np.arange(batch_size)[None, :], actions
+    target[rows] = targets_for_actions
+    mask = np.zeros_like(target)
+    mask[rows] = 1.0
+
+    delta = agents[0].loss.delta
+    err = prediction - target
+    abs_err = np.abs(err)
+    quad = np.minimum(abs_err, delta)
+    losses = np.mean(0.5 * quad**2 + delta * (abs_err - quad), axis=(1, 2))
+    # Per-slice gradient: divide by the slice's element count (B·A), the
+    # ``p.size`` the serial HuberLoss sees, not the stacked size.
+    grad = np.clip(err, -delta, delta) / (batch_size * prediction.shape[2]) * mask
+    stack.backward(grad)
+    stack.adam_step(agents[0].optimizer)
+
+    for agent in agents:
+        agent.train_steps += 1
+    if cfg.soft_update_tau is not None:
+        stack.soft_sync(cfg.soft_update_tau)
+    elif agents[0].train_steps % cfg.target_sync_interval == 0:
+        stack.hard_sync()
+    return losses
+
+
+def train_dqn_batch(
+    env_config: MDPConfig | None = None,
+    *,
+    seeds,
+    trainer=None,
+    dqn: DQNConfig | None = None,
+    history_length: int = 5,
+) -> list:
+    """Train one DQN per seed in lock-step; bit-identical to serial runs.
+
+    Returns a list of :class:`repro.core.trainer.TrainingResult`, one per
+    seed in order, each exactly equal (weights, histories, rng/replay
+    state) to ``train_dqn(..., seed=s)``.
+    """
+    from repro.core.trainer import TrainerConfig, TrainingResult, train_dqn
+
+    seed_list = [int(s) for s in seeds]
+    if not seed_list:
+        raise TrainingError("need at least one seed")
+    trainer = trainer or TrainerConfig()
+    if len(seed_list) == 1:
+        return [
+            train_dqn(
+                env_config,
+                trainer=trainer,
+                dqn=dqn,
+                history_length=history_length,
+                seed=seed_list[0],
+            )
+        ]
+    env_config = env_config or MDPConfig()
+    vec = VectorEnv.from_seeds(env_config, seed_list, history_length=history_length)
+    if dqn is None:
+        dqn = DQNConfig(
+            observation_size=vec.observation_size,
+            num_actions=vec.num_actions,
+        )
+    elif (
+        dqn.observation_size != vec.observation_size
+        or dqn.num_actions != vec.num_actions
+    ):
+        raise TrainingError(
+            "DQN geometry does not match the environment: expected "
+            f"obs={vec.observation_size}, actions={vec.num_actions}"
+        )
+    agents = [DQNAgent(dqn, seed=derive(s, "train-agent")) for s in seed_list]
+    stack = _StackedMLP(agents)
+
+    n = len(seed_list)
+    rewards: list[list[float]] = [[] for _ in range(n)]
+    losses: list[list[float]] = [[] for _ in range(n)]
+    converged = [False] * n
+    episodes_run = [0] * n
+    steps = [0] * n
+    # Seeds still training, as indices into the original order. The stacked
+    # tensors and ``vec`` always cover exactly these, in this order.
+    active = list(range(n))
+    # Warm-up transitions are buffered per agent and flushed with one
+    # push_many right before the first training step (no sampling happens
+    # during warm-up, so the deferred write is unobservable).
+    pending: list[list[tuple]] = [[] for _ in range(n)]
+    warmed_up = False
+
+    with obs_trace.span(
+        "train/run_batch",
+        seeds=seed_list,
+        episodes=trainer.episodes,
+        steps_per_episode=trainer.steps_per_episode,
+    ):
+        METRICS.set("dqn.env_batch", n)
+        for _ in range(trainer.episodes):
+            if not active:
+                break
+            live = [agents[i] for i in active]
+            obs = vec.reset()
+            ep_rewards = [0.0] * len(active)
+            ep_losses: list[list[float]] = [[] for _ in active]
+            for _ in range(trainer.steps_per_episode):
+                actions = _batched_act(stack, live, obs)
+                next_obs, step_rewards, _ = vec.step(actions)
+                scaled = step_rewards * trainer.reward_scale
+                stored = len(live[0].replay)
+                if not warmed_up:
+                    for pos, i in enumerate(active):
+                        pending[i].append(
+                            (obs[pos], int(actions[pos]), scaled[pos], next_obs[pos])
+                        )
+                    # min(·, capacity) is what len(replay) would read after
+                    # sequential pushes — a warmup larger than the buffer
+                    # never trains, exactly like the serial path.
+                    would_store = min(
+                        stored + len(pending[active[0]]), dqn.replay_capacity
+                    )
+                    if would_store >= dqn.warmup_transitions:
+                        for pos, i in enumerate(active):
+                            rows = pending[i]
+                            live[pos].replay.push_many(
+                                np.stack([r[0] for r in rows]),
+                                np.array([r[1] for r in rows]),
+                                np.array([r[2] for r in rows]),
+                                np.stack([r[3] for r in rows]),
+                            )
+                            pending[i].clear()
+                        warmed_up = True
+                else:
+                    for pos, agent in enumerate(live):
+                        agent.replay.push(
+                            obs[pos], int(actions[pos]), scaled[pos], next_obs[pos]
+                        )
+                for agent in live:
+                    agent.env_steps += 1
+                if warmed_up:
+                    step_losses = _batched_train_step(stack, live)
+                    for pos in range(len(active)):
+                        ep_losses[pos].append(float(step_losses[pos]))
+                obs = next_obs
+                for pos in range(len(active)):
+                    ep_rewards[pos] += float(step_rewards[pos])
+                    steps[active[pos]] += 1
+
+            finished = []
+            for pos, i in enumerate(active):
+                episodes_run[i] += 1
+                rewards[i].append(ep_rewards[pos] / trainer.steps_per_episode)
+                losses[i].append(
+                    float(np.mean(ep_losses[pos])) if ep_losses[pos] else float("nan")
+                )
+                METRICS.inc("dqn.episodes")
+                METRICS.set("dqn.epsilon", live[pos].epsilon)
+                if ep_losses[pos]:
+                    METRICS.observe("dqn.td_error", losses[i][-1])
+                obs_trace.event(
+                    "dqn.episode",
+                    seed=seed_list[i],
+                    episode=episodes_run[i] - 1,
+                    reward=rewards[i][-1],
+                    loss=losses[i][-1],
+                    epsilon=live[pos].epsilon,
+                    replay=len(live[pos].replay),
+                    steps=steps[i],
+                )
+                if (
+                    trainer.reward_goal is not None
+                    and len(rewards[i]) >= trainer.goal_window
+                ):
+                    window = rewards[i][-trainer.goal_window :]
+                    if float(np.mean(window)) >= trainer.reward_goal:
+                        converged[i] = True
+                        finished.append(pos)
+            if finished:
+                for pos in finished:
+                    stack.write_back(pos, agents[active[pos]])
+                keep = [p for p in range(len(active)) if p not in finished]
+                stack.compact(keep)
+                vec = vec.select(keep)
+                active = [active[p] for p in keep]
+
+    for pos, i in enumerate(active):
+        stack.write_back(pos, agents[i])
+    results = []
+    for i, seed in enumerate(seed_list):
+        agents[i].sync_target()
+        results.append(
+            TrainingResult(
+                agent=agents[i],
+                steps=steps[i],
+                episodes=episodes_run[i],
+                converged=converged[i],
+                reward_history=np.array(rewards[i]),
+                loss_history=np.array(losses[i]),
+            )
+        )
+    return results
+
+
+def _train_batch_task(spec: tuple) -> list:
+    """One lock-step group of seeded training runs (pool-dispatchable)."""
+    env_config, trainer, dqn, history_length, chunk = spec
+    return train_dqn_batch(
+        env_config,
+        seeds=chunk,
+        trainer=trainer,
+        dqn=dqn,
+        history_length=history_length,
+    )
+
+
+__all__ = [
+    "ENV_BATCH_ENV",
+    "DEFAULT_ENV_BATCH",
+    "resolve_env_batch",
+    "VectorEnv",
+    "train_dqn_batch",
+]

@@ -8,11 +8,20 @@ paper needs).
 The emulation pipeline (paper Fig. 1) runs the *decoder* on quantized
 waveform bits to discover a feasible payload, then re-encodes it — so both
 directions here must be exact inverses on valid codewords.
+
+The hot paths are fully vectorised: the encoder is two binary convolutions,
+puncturing indexes with cached boolean keep-masks, and the Viterbi
+add-compare-select step reduces a precomputed branch-mismatch tensor over a
+static predecessor table. The original per-bit/per-state implementations are
+retained as :func:`conv_encode_reference` / :func:`viterbi_decode_reference`
+so the equivalence suite and the kernel benchmarks can pin the fast path
+bit-for-bit against them.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import lru_cache
 
 import numpy as np
 
@@ -59,6 +68,38 @@ def _build_tables() -> tuple[np.ndarray, np.ndarray]:
 _NEXT_STATE, _OUTPUTS = _build_tables()
 
 
+def _build_predecessors() -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Invert the trellis: the two (state, input) transitions into each state.
+
+    Flat transition index is ``state * 2 + input`` — the same packing the
+    survivor array uses — and each row is sorted ascending so that ties in
+    the add-compare-select step resolve to the lowest flat index, exactly
+    like the reference decoder's stable argsort.
+    """
+    pred_flat = np.zeros((_NUM_STATES, 2), dtype=np.int64)
+    flat_next = _NEXT_STATE.ravel()
+    for ns in range(_NUM_STATES):
+        pred_flat[ns] = np.nonzero(flat_next == ns)[0]
+    pred_out = _OUTPUTS.reshape(-1, 2).astype(np.int64)[pred_flat]
+    return pred_flat, pred_flat >> 1, pred_out
+
+
+#: ``_PRED_FLAT[ns, j]`` — flat index of the j-th transition into ``ns``;
+#: ``_PRED_STATE`` its originating state; ``_PRED_OUT[ns, j]`` its (A, B)
+#: output pair.
+_PRED_FLAT, _PRED_STATE, _PRED_OUT = _build_predecessors()
+
+#: Tap vectors over ``b_i .. b_{i-6}`` for the two generators (tap ``k`` is
+#: register bit ``6 - k``), so each output stream is a binary convolution.
+_TAPS = np.array(
+    [
+        [(g >> (CONSTRAINT_LENGTH - 1 - k)) & 1 for k in range(CONSTRAINT_LENGTH)]
+        for g in (G0, G1)
+    ],
+    dtype=np.int64,
+)
+
+
 @dataclass(frozen=True)
 class CodeRate:
     """A supported coding rate with its puncturing pattern."""
@@ -91,6 +132,18 @@ def conv_encode(bits: "np.typing.ArrayLike") -> BitArray:
     """
     arr = as_bits(bits)
     out = np.empty(arr.size * 2, dtype=np.uint8)
+    if arr.size == 0:
+        return out
+    x = arr.astype(np.int64)
+    out[0::2] = np.convolve(x, _TAPS[0])[: arr.size] & 1
+    out[1::2] = np.convolve(x, _TAPS[1])[: arr.size] & 1
+    return out
+
+
+def conv_encode_reference(bits: "np.typing.ArrayLike") -> BitArray:
+    """Per-bit shift-register encoder (reference for equivalence tests)."""
+    arr = as_bits(bits)
+    out = np.empty(arr.size * 2, dtype=np.uint8)
     state = 0
     for i, bit in enumerate(arr):
         b = int(bit)
@@ -100,17 +153,23 @@ def conv_encode(bits: "np.typing.ArrayLike") -> BitArray:
     return out
 
 
+@lru_cache(maxsize=None)
+def _keep_mask(rate: str, half_len: int) -> np.ndarray:
+    """Read-only boolean keep-mask for ``half_len`` (A, B) pairs."""
+    pat_a, pat_b = PUNCTURE_PATTERNS[rate]
+    keep = np.empty(half_len * 2, dtype=bool)
+    keep[0::2] = np.resize(np.asarray(pat_a, dtype=bool), half_len)
+    keep[1::2] = np.resize(np.asarray(pat_b, dtype=bool), half_len)
+    keep.setflags(write=False)
+    return keep
+
+
 def puncture(coded: "np.typing.ArrayLike", rate: str) -> BitArray:
     """Delete bits from a rate-1/2 stream according to ``rate``'s pattern."""
     arr = as_bits(coded)
     if arr.size % 2:
         raise EncodingError("coded stream length must be even before puncturing")
-    pat_a, pat_b = PUNCTURE_PATTERNS[CodeRate.from_name(rate).name]
-    period = len(pat_a)
-    keep = np.empty(arr.size, dtype=bool)
-    keep[0::2] = [pat_a[i % period] == 1 for i in range(arr.size // 2)]
-    keep[1::2] = [pat_b[i % period] == 1 for i in range(arr.size // 2)]
-    return arr[keep]
+    return arr[_keep_mask(CodeRate.from_name(rate).name, arr.size // 2)]
 
 
 def depuncture(punctured: "np.typing.ArrayLike", rate: str) -> tuple[BitArray, np.ndarray]:
@@ -120,7 +179,8 @@ def depuncture(punctured: "np.typing.ArrayLike", rate: str) -> tuple[BitArray, n
     marks positions that carry real channel observations.
     """
     arr = as_bits(punctured)
-    pat_a, pat_b = PUNCTURE_PATTERNS[CodeRate.from_name(rate).name]
+    rate_name = CodeRate.from_name(rate).name
+    pat_a, pat_b = PUNCTURE_PATTERNS[rate_name]
     period = len(pat_a)
     kept_per_period = sum(pat_a) + sum(pat_b)
     if arr.size % kept_per_period:
@@ -129,21 +189,27 @@ def depuncture(punctured: "np.typing.ArrayLike", rate: str) -> tuple[BitArray, n
             f"{rate} pattern ({kept_per_period} bits/period)"
         )
     periods = arr.size // kept_per_period
-    full = np.zeros(periods * period * 2, dtype=np.uint8)
-    mask = np.zeros(periods * period * 2, dtype=bool)
-    src = 0
-    for p in range(periods):
-        for j in range(period):
-            base = (p * period + j) * 2
-            if pat_a[j]:
-                full[base] = arr[src]
-                mask[base] = True
-                src += 1
-            if pat_b[j]:
-                full[base + 1] = arr[src]
-                mask[base + 1] = True
-                src += 1
+    mask = _keep_mask(rate_name, periods * period).copy()
+    full = np.zeros(mask.size, dtype=np.uint8)
+    # Kept positions ascend, so a masked scatter reproduces the sequential
+    # fill order of the pattern walk.
+    full[mask] = arr
     return full, mask
+
+
+def _decode_args(
+    coded: "np.typing.ArrayLike", known_mask: np.ndarray | None
+) -> tuple[BitArray, np.ndarray, int]:
+    arr = as_bits(coded)
+    if arr.size % 2:
+        raise DecodingError("coded stream length must be even")
+    if known_mask is None:
+        known_mask = np.ones(arr.size, dtype=bool)
+    else:
+        known_mask = np.asarray(known_mask, dtype=bool).ravel()
+        if known_mask.size != arr.size:
+            raise DecodingError("known_mask length must match coded length")
+    return arr, known_mask, arr.size // 2
 
 
 def viterbi_decode(
@@ -165,22 +231,61 @@ def viterbi_decode(
     terminated:
         If true, assume the encoder was driven back to state 0 by tail bits
         and trace back from state 0; otherwise from the best end state.
+
+    The add-compare-select loop gathers from the static predecessor table
+    and reduces a branch-mismatch tensor precomputed for all trellis steps;
+    results are bit-identical to :func:`viterbi_decode_reference` (pinned by
+    the equivalence suite).
     """
-    arr = as_bits(coded)
-    if arr.size % 2:
-        raise DecodingError("coded stream length must be even")
-    steps = arr.size // 2
-    if known_mask is None:
-        known_mask = np.ones(arr.size, dtype=bool)
-    else:
-        known_mask = np.asarray(known_mask, dtype=bool).ravel()
-        if known_mask.size != arr.size:
-            raise DecodingError("known_mask length must match coded length")
+    arr, known_mask, steps = _decode_args(coded, known_mask)
 
     inf = np.iinfo(np.int32).max // 2
     metrics = np.full(_NUM_STATES, inf, dtype=np.int64)
     metrics[0] = 0
     # survivors[t, s] = (previous state << 1) | input bit
+    survivors = np.zeros((steps, _NUM_STATES), dtype=np.int32)
+
+    received = arr.reshape(steps, 2).astype(np.int64)
+    known = known_mask.reshape(steps, 2)
+    # mismatch[t, ns, j]: Hamming distance between the received pair at step
+    # t and the output pair of the j-th transition into state ns, counting
+    # only positions the mask marks as observed.
+    mismatch = (
+        ((_PRED_OUT[None, :, :, 0] != received[:, None, None, 0])
+         & known[:, 0, None, None]).astype(np.int64)
+        + ((_PRED_OUT[None, :, :, 1] != received[:, None, None, 1])
+           & known[:, 1, None, None])
+    )
+    states = np.arange(_NUM_STATES)
+    for t in range(steps):
+        cand = metrics[_PRED_STATE] + mismatch[t]
+        # argmin ties pick j = 0 — the lower flat transition index — exactly
+        # the reference decoder's stable-argsort first occurrence.
+        choice = cand.argmin(axis=1)
+        metrics = cand[states, choice]
+        survivors[t] = _PRED_FLAT[states, choice]
+
+    state = 0 if terminated else int(np.argmin(metrics))
+    decoded = np.empty(steps, dtype=np.uint8)
+    for t in range(steps - 1, -1, -1):
+        packed = int(survivors[t, state])
+        decoded[t] = packed & 1
+        state = packed >> 1
+    return decoded
+
+
+def viterbi_decode_reference(
+    coded: "np.typing.ArrayLike",
+    *,
+    known_mask: np.ndarray | None = None,
+    terminated: bool = False,
+) -> BitArray:
+    """Per-step argsort Viterbi decoder (reference for equivalence tests)."""
+    arr, known_mask, steps = _decode_args(coded, known_mask)
+
+    inf = np.iinfo(np.int32).max // 2
+    metrics = np.full(_NUM_STATES, inf, dtype=np.int64)
+    metrics[0] = 0
     survivors = np.zeros((steps, _NUM_STATES), dtype=np.int32)
 
     out0 = _OUTPUTS[:, :, 0].astype(np.int64)  # (state, bit)
@@ -249,9 +354,11 @@ __all__ = [
     "PUNCTURE_PATTERNS",
     "CodeRate",
     "conv_encode",
+    "conv_encode_reference",
     "puncture",
     "depuncture",
     "viterbi_decode",
+    "viterbi_decode_reference",
     "encode_with_rate",
     "decode_with_rate",
 ]

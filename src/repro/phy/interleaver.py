@@ -11,6 +11,8 @@ The emulation pipeline (paper Fig. 1) runs the inverse permutation
 
 from __future__ import annotations
 
+from functools import lru_cache
+
 import numpy as np
 
 from repro.errors import EncodingError
@@ -20,16 +22,8 @@ from repro.phy.bits import BitArray, as_bits
 NUM_COLUMNS = 16
 
 
-def interleave_permutation(n_cbps: int, n_bpsc: int) -> np.ndarray:
-    """Return the index map ``perm`` with ``out[perm[k]] = in[k]``.
-
-    Parameters
-    ----------
-    n_cbps:
-        Coded bits per OFDM symbol (block size).
-    n_bpsc:
-        Coded bits per subcarrier (1 for BPSK ... 6 for 64-QAM).
-    """
+@lru_cache(maxsize=None)
+def _permutation_cached(n_cbps: int, n_bpsc: int) -> np.ndarray:
     if n_cbps <= 0 or n_cbps % NUM_COLUMNS:
         raise EncodingError(
             f"n_cbps must be a positive multiple of {NUM_COLUMNS}, got {n_cbps}"
@@ -44,7 +38,22 @@ def interleave_permutation(n_cbps: int, n_bpsc: int) -> np.ndarray:
     i = (n_cbps // NUM_COLUMNS) * (k % NUM_COLUMNS) + k // NUM_COLUMNS
     # Second permutation.
     j = s * (i // s) + (i + n_cbps - (NUM_COLUMNS * i) // n_cbps) % s
-    return j.astype(np.int64)
+    perm = j.astype(np.int64)
+    perm.setflags(write=False)
+    return perm
+
+
+def interleave_permutation(n_cbps: int, n_bpsc: int) -> np.ndarray:
+    """Return the index map ``perm`` with ``out[perm[k]] = in[k]``.
+
+    Parameters
+    ----------
+    n_cbps:
+        Coded bits per OFDM symbol (block size).
+    n_bpsc:
+        Coded bits per subcarrier (1 for BPSK ... 6 for 64-QAM).
+    """
+    return _permutation_cached(int(n_cbps), int(n_bpsc)).copy()
 
 
 def interleave(bits: "np.typing.ArrayLike", n_cbps: int, n_bpsc: int) -> BitArray:
@@ -54,13 +63,9 @@ def interleave(bits: "np.typing.ArrayLike", n_cbps: int, n_bpsc: int) -> BitArra
         raise EncodingError(
             f"input length {arr.size} is not a multiple of the block size {n_cbps}"
         )
-    perm = interleave_permutation(n_cbps, n_bpsc)
+    perm = _permutation_cached(int(n_cbps), int(n_bpsc))
     out = np.empty_like(arr)
-    for start in range(0, arr.size, n_cbps):
-        block = arr[start : start + n_cbps]
-        out_block = np.empty_like(block)
-        out_block[perm] = block
-        out[start : start + n_cbps] = out_block
+    out.reshape(-1, n_cbps)[:, perm] = arr.reshape(-1, n_cbps)
     return out
 
 
@@ -71,12 +76,8 @@ def deinterleave(bits: "np.typing.ArrayLike", n_cbps: int, n_bpsc: int) -> BitAr
         raise EncodingError(
             f"input length {arr.size} is not a multiple of the block size {n_cbps}"
         )
-    perm = interleave_permutation(n_cbps, n_bpsc)
-    out = np.empty_like(arr)
-    for start in range(0, arr.size, n_cbps):
-        block = arr[start : start + n_cbps]
-        out[start : start + n_cbps] = block[perm]
-    return out
+    perm = _permutation_cached(int(n_cbps), int(n_bpsc))
+    return arr.reshape(-1, n_cbps)[:, perm].reshape(-1)
 
 
 __all__ = [

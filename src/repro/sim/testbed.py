@@ -16,7 +16,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.channel.link import JammerSignalType
+from repro.channel.link import Interferer, JammerSignalType
 from repro.channel.medium import ActiveTransmission, Medium
 from repro.channel.propagation import LogDistancePathLoss
 from repro.channel.spectrum import ZIGBEE_CHANNELS
@@ -48,10 +48,17 @@ class TestbedConfig:
     #: using the channel", so it is silent during CCA and strikes the
     #: transmission itself.
     jammer_reaction_probability: float = 0.9
+    #: Log-normal shadowing of every path in the testbed, dB. With ``0``
+    #: the geometry is fully deterministic and the testbed precomputes its
+    #: entire PER grid into the medium's :class:`~repro.channel.link.LinkTable`
+    #: at construction, so per-frame outcomes are pure cache lookups.
+    shadowing_sigma_db: float = 3.0
 
     def __post_init__(self) -> None:
         if self.num_peripherals < 1:
             raise ConfigurationError("need at least one peripheral")
+        if self.shadowing_sigma_db < 0:
+            raise ConfigurationError("shadowing sigma must be non-negative")
         if self.link_distance_m <= 0:
             raise ConfigurationError("link distance must be positive")
         if self.zigbee_channel not in ZIGBEE_CHANNELS:
@@ -111,7 +118,9 @@ class Testbed:
         self._seed = seed
         self._rng = make_rng(derive(seed, "testbed"))
         self.medium = Medium(
-            propagation=LogDistancePathLoss(shadowing_sigma_db=3.0),
+            propagation=LogDistancePathLoss(
+                shadowing_sigma_db=self.config.shadowing_sigma_db
+            ),
             seed=derive(seed, "testbed-medium"),
         )
         cfg = self.config
@@ -132,12 +141,43 @@ class Testbed:
         }
         self.jammer_distance_m = 10.0
         self.medium.place(self.JAMMER_ID, 0.0, self.jammer_distance_m)
+        self._precompute_link_table()
 
     def set_jammer_distance(self, distance_m: float) -> None:
         if distance_m <= 0:
             raise ConfigurationError("jammer distance must be positive")
         self.jammer_distance_m = float(distance_m)
         self.medium.place(self.JAMMER_ID, 0.0, distance_m)
+        self._precompute_link_table()
+
+    def _precompute_link_table(self) -> None:
+        """Fill the PER grid for the current geometry.
+
+        Only meaningful without shadowing: with ``shadowing_sigma_db == 0``
+        every node→hub and jammer→hub path has one deterministic received
+        power, so the whole window reduces to at most
+        ``len(distinct distances) × {clean, jammed}`` PER entries. With
+        shadowing each frame samples a fresh realisation and keys would
+        never repeat, so precomputing would only burn work.
+        """
+        table = self.medium.link_table
+        if self.config.shadowing_sigma_db != 0.0 or not table.enabled:
+            return
+        cfg = self.config
+        signals = {
+            self.medium.rx_power_dbm(node_id, self.HUB_ID, cfg.victim_tx_dbm)
+            for node_id in self.node_ids
+        }
+        jammer = Interferer(
+            power_dbm=self.medium.rx_power_dbm(
+                self.JAMMER_ID, self.HUB_ID, cfg.jammer_tx_dbm
+            ),
+            signal_type=cfg.jammer_signal,
+            center_offset_mhz=0.0,
+        )
+        table.precompute(
+            sorted(signals), [cfg.frame_payload_octets + 8], [(), (jammer,)]
+        )
 
     # -- frame exchange ---------------------------------------------------------
 
@@ -204,6 +244,9 @@ class Testbed:
                     self._macs[node_id].stats.channel_access_failures - before
                 )
         METRICS.inc("sim.windows")
+        table = self.medium.link_table
+        if table.enabled and (table.hits or table.misses):
+            METRICS.set("link.per_cache_hit_rate", table.hit_rate)
         if stats.cca_blocked:
             METRICS.inc("sim.cca_backoffs", stats.cca_blocked)
         METRICS.observe(

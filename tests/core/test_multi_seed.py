@@ -65,6 +65,7 @@ class TestMultiSeedFaults:
             seeds=(0, 1),
             trainer=TINY,
             workers=1,
+            env_batch=1,
             policy=FaultPolicy(
                 on_error="retry",
                 max_retries=6,
@@ -80,11 +81,14 @@ class TestMultiSeedFaults:
 
     def test_skip_salvages_surviving_seeds(self):
         # fault_seed=2 at rate 0.5 fails exactly task index 0 (seed 0).
+        # env_batch=1 pins per-seed task granularity: under batching a
+        # crash takes out its whole seed group (covered in test_vecenv).
         multi = train_dqn_multi_seed(
             MDPConfig(),
             seeds=(0, 1, 2),
             trainer=TINY,
             workers=1,
+            env_batch=1,
             policy=FaultPolicy(
                 on_error="skip", max_retries=0, fault_rate=0.5, fault_seed=2
             ),

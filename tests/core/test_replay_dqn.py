@@ -20,7 +20,7 @@ class TestReplayBuffer:
         for i in range(5):
             buf.push(np.array([float(i)]), i, float(i), np.array([0.0]))
         assert len(buf) == 3 and buf.is_full
-        batch = buf.sample(64)
+        batch = buf.sample(64, allow_undersized=True)
         # Only the last three transitions remain.
         assert set(np.unique(batch.actions)).issubset({2, 3, 4})
 
@@ -39,7 +39,7 @@ class TestReplayBuffer:
         buf = ReplayBuffer(16, 1, seed=2)
         for i in range(10):
             buf.push(np.array([float(i)]), i, float(-i), np.array([float(i + 1)]))
-        batch = buf.sample(32)
+        batch = buf.sample(32, allow_undersized=True)
         for obs, a, r, nxt in zip(
             batch.observations, batch.actions, batch.rewards, batch.next_observations
         ):

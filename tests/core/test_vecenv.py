@@ -1,0 +1,321 @@
+"""Equivalence tests for lock-step batched multi-seed DQN training.
+
+The contract under test is hard bit-identity: ``train_dqn_batch`` over N
+seeds must produce exactly what N serial ``train_dqn`` calls produce —
+reward/loss histories, final online and target weights, optimizer state,
+and even the downstream replay-sampling rng position.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.dqn import DQNAgent, DQNConfig, EpsilonSchedule
+from repro.core.envs import SweepJammingEnv
+from repro.core.mdp import MDPConfig
+from repro.core.replay import ReplayBuffer
+from repro.core.trainer import TrainerConfig, train_dqn, train_dqn_multi_seed
+from repro.core.vecenv import (
+    DEFAULT_ENV_BATCH,
+    ENV_BATCH_ENV,
+    VectorEnv,
+    resolve_env_batch,
+    train_dqn_batch,
+)
+from repro.errors import TrainingError
+from repro.exec import FaultPolicy
+from repro.rng import derive
+
+
+def tiny_dqn(env_obs=15, env_actions=160, **kw):
+    defaults = dict(
+        observation_size=env_obs,
+        num_actions=env_actions,
+        hidden_sizes=(24, 24),
+        batch_size=16,
+        warmup_transitions=64,
+        replay_capacity=4000,
+        epsilon=EpsilonSchedule(1.0, 0.1, 2000),
+    )
+    defaults.update(kw)
+    return DQNConfig(**defaults)
+
+
+TINY = TrainerConfig(episodes=2, steps_per_episode=40)
+
+
+def assert_run_identical(batched, serial):
+    """Bit-identity of one batched seed's result against its serial twin."""
+    assert batched.episodes == serial.episodes
+    assert batched.steps == serial.steps
+    assert batched.converged == serial.converged
+    np.testing.assert_array_equal(batched.reward_history, serial.reward_history)
+    np.testing.assert_array_equal(batched.loss_history, serial.loss_history)
+    for pa, pb in zip(
+        batched.agent.network().parameters, serial.agent.network().parameters
+    ):
+        np.testing.assert_array_equal(pa, pb)
+    probe = np.linspace(-1.0, 1.0, batched.agent.config.observation_size)
+    np.testing.assert_array_equal(
+        batched.agent.target.predict(probe), serial.agent.target.predict(probe)
+    )
+    # The replay rng streams are also in the same position afterwards.
+    cfg = batched.agent.config
+    a = batched.agent.replay.sample(cfg.batch_size)
+    b = serial.agent.replay.sample(cfg.batch_size)
+    np.testing.assert_array_equal(a.actions, b.actions)
+    np.testing.assert_array_equal(a.observations, b.observations)
+
+
+class TestResolveEnvBatch:
+    def test_default(self, monkeypatch):
+        monkeypatch.delenv(ENV_BATCH_ENV, raising=False)
+        assert resolve_env_batch() == DEFAULT_ENV_BATCH
+
+    def test_env_integer(self, monkeypatch):
+        monkeypatch.setenv(ENV_BATCH_ENV, "3")
+        assert resolve_env_batch() == 3
+
+    @pytest.mark.parametrize("word", ["off", "none", " OFF "])
+    def test_disable_words(self, word):
+        assert resolve_env_batch(word) == 1
+
+    def test_override_beats_env(self, monkeypatch):
+        monkeypatch.setenv(ENV_BATCH_ENV, "3")
+        assert resolve_env_batch(5) == 5
+
+    @pytest.mark.parametrize("bad", ["soon", "1.5"])
+    def test_invalid_rejected(self, bad):
+        with pytest.raises(TrainingError):
+            resolve_env_batch(bad)
+
+    @pytest.mark.parametrize("bad", [0, -2, "0"])
+    def test_non_positive_rejected(self, bad):
+        with pytest.raises(TrainingError):
+            resolve_env_batch(bad)
+
+
+class TestVectorEnv:
+    def test_lockstep_matches_serial_trajectories(self):
+        seeds = (0, 1, 2)
+        vec = VectorEnv.from_seeds(MDPConfig(), seeds, history_length=5)
+        solo = [
+            SweepJammingEnv(
+                MDPConfig(), history_length=5, seed=derive(s, "train-env")
+            )
+            for s in seeds
+        ]
+        obs = vec.reset()
+        solo_obs = [env.reset() for env in solo]
+        np.testing.assert_array_equal(obs, np.stack(solo_obs))
+        rng = np.random.default_rng(0)
+        for _ in range(30):
+            actions = rng.integers(0, vec.num_actions, size=len(seeds))
+            obs, rewards, infos = vec.step(actions)
+            for i, env in enumerate(solo):
+                o, r, info = env.step_index(int(actions[i]))
+                np.testing.assert_array_equal(obs[i], o)
+                assert rewards[i] == r
+                assert infos[i] == info
+
+    def test_empty_rejected(self):
+        with pytest.raises(TrainingError):
+            VectorEnv([])
+
+    def test_geometry_mismatch_rejected(self):
+        a = SweepJammingEnv(MDPConfig(), history_length=5, seed=0)
+        b = SweepJammingEnv(MDPConfig(), history_length=7, seed=0)
+        with pytest.raises(TrainingError, match="share geometry"):
+            VectorEnv([a, b])
+
+    def test_wrong_action_count_rejected(self):
+        vec = VectorEnv.from_seeds(MDPConfig(), (0, 1), history_length=5)
+        vec.reset()
+        with pytest.raises(TrainingError, match="expected 2 actions"):
+            vec.step(np.zeros(3, dtype=np.int64))
+
+    def test_select_keeps_wrapped_envs(self):
+        vec = VectorEnv.from_seeds(MDPConfig(), (0, 1, 2), history_length=5)
+        sub = vec.select([0, 2])
+        assert sub.num_envs == 2
+        assert sub.envs[0] is vec.envs[0]
+        assert sub.envs[1] is vec.envs[2]
+
+
+class TestPushMany:
+    @staticmethod
+    def _fill(buf, rows):
+        for i in rows:
+            buf.push(np.full(3, float(i)), i, -float(i), np.full(3, i + 0.5))
+
+    @staticmethod
+    def _assert_buffers_equal(a, b):
+        assert len(a) == len(b)
+        assert a._cursor == b._cursor
+        np.testing.assert_array_equal(a._obs, b._obs)
+        np.testing.assert_array_equal(a._actions, b._actions)
+        np.testing.assert_array_equal(a._rewards, b._rewards)
+        np.testing.assert_array_equal(a._next_obs, b._next_obs)
+
+    @pytest.mark.parametrize("preload,count", [(0, 3), (2, 5), (6, 4), (0, 8), (3, 20)])
+    def test_matches_sequential_push(self, preload, count):
+        # capacity 8: the cases cover no-wrap, wraparound, and n > capacity.
+        seq = ReplayBuffer(8, 3, seed=0)
+        bulk = ReplayBuffer(8, 3, seed=0)
+        self._fill(seq, range(preload))
+        self._fill(bulk, range(preload))
+        rows = range(100, 100 + count)
+        self._fill(seq, rows)
+        bulk.push_many(
+            np.stack([np.full(3, float(i)) for i in rows]),
+            np.array(list(rows)),
+            np.array([-float(i) for i in rows]),
+            np.stack([np.full(3, i + 0.5) for i in rows]),
+        )
+        self._assert_buffers_equal(seq, bulk)
+        # Same rng, same contents => identical future samples.
+        a = seq.sample(4, allow_undersized=True)
+        b = bulk.sample(4, allow_undersized=True)
+        np.testing.assert_array_equal(a.actions, b.actions)
+
+    def test_empty_push_is_noop(self):
+        buf = ReplayBuffer(4, 3, seed=0)
+        buf.push_many(np.empty((0, 3)), np.empty(0), np.empty(0), np.empty((0, 3)))
+        assert len(buf) == 0 and buf._cursor == 0
+
+    def test_row_count_mismatch_rejected(self):
+        buf = ReplayBuffer(4, 3)
+        with pytest.raises(TrainingError, match="disagree"):
+            buf.push_many(np.zeros((2, 3)), np.zeros(3), np.zeros(2), np.zeros((2, 3)))
+
+    def test_observation_shape_mismatch_rejected(self):
+        buf = ReplayBuffer(4, 3)
+        with pytest.raises(TrainingError, match="do not match"):
+            buf.push_many(np.zeros((2, 4)), np.zeros(2), np.zeros(2), np.zeros((2, 4)))
+
+
+class TestSampleGuard:
+    def test_undersized_sample_rejected(self):
+        buf = ReplayBuffer(16, 2, seed=0)
+        for i in range(4):
+            buf.push(np.zeros(2), i, 0.0, np.zeros(2))
+        with pytest.raises(TrainingError, match="allow_undersized"):
+            buf.sample(8)
+        assert buf.sample(8, allow_undersized=True).size == 8
+
+    def test_warmup_keeps_agent_clear_of_guard(self):
+        # DQNConfig enforces warmup >= batch, so an agent that only trains
+        # after warm-up can never request more rows than it stored.
+        agent = DQNAgent(
+            tiny_dqn(env_obs=4, env_actions=3, hidden_sizes=(8,),
+                     batch_size=8, warmup_transitions=8, replay_capacity=32),
+            seed=0,
+        )
+        obs = np.zeros(4)
+        for i in range(12):
+            agent.observe(obs, i % 3, -1.0, obs)  # must never raise
+        assert agent.train_steps > 0
+
+
+class TestBatchedEquivalence:
+    def _serial(self, seeds, trainer=TINY, dqn=None, **kw):
+        return [
+            train_dqn(MDPConfig(), trainer=trainer, dqn=dqn, seed=s, **kw)
+            for s in seeds
+        ]
+
+    def test_plain_matches_serial(self):
+        seeds = (0, 1, 2)
+        dqn = tiny_dqn()
+        batched = train_dqn_batch(MDPConfig(), seeds=seeds, trainer=TINY, dqn=dqn)
+        for b, s in zip(batched, self._serial(seeds, dqn=dqn)):
+            assert_run_identical(b, s)
+
+    def test_double_dqn_matches_serial(self):
+        seeds = (3, 4)
+        dqn = tiny_dqn(double_dqn=True)
+        batched = train_dqn_batch(MDPConfig(), seeds=seeds, trainer=TINY, dqn=dqn)
+        for b, s in zip(batched, self._serial(seeds, dqn=dqn)):
+            assert_run_identical(b, s)
+
+    def test_soft_target_update_matches_serial(self):
+        seeds = (5, 6)
+        dqn = tiny_dqn(soft_update_tau=0.05)
+        batched = train_dqn_batch(MDPConfig(), seeds=seeds, trainer=TINY, dqn=dqn)
+        for b, s in zip(batched, self._serial(seeds, dqn=dqn)):
+            assert_run_identical(b, s)
+
+    def test_staggered_early_stop_matches_serial(self):
+        # Seeds 0-4 hit the goal after 8/5/2/2/3 episodes (seed 0 never
+        # converges), so the stacked tensors compact repeatedly mid-run.
+        seeds = (0, 1, 2, 3, 4)
+        dqn = tiny_dqn()
+        trainer = TrainerConfig(
+            episodes=8, steps_per_episode=40, reward_goal=-81.0, goal_window=2
+        )
+        batched = train_dqn_batch(MDPConfig(), seeds=seeds, trainer=trainer, dqn=dqn)
+        serial = self._serial(seeds, trainer=trainer, dqn=dqn)
+        episodes = [r.episodes for r in serial]
+        assert len(set(episodes)) > 2  # the stagger actually happened
+        assert not serial[0].converged and serial[2].converged
+        for b, s in zip(batched, serial):
+            assert_run_identical(b, s)
+
+    def test_single_seed_delegates_to_serial(self):
+        batched = train_dqn_batch(MDPConfig(), seeds=(7,), trainer=TINY)
+        solo = train_dqn(MDPConfig(), trainer=TINY, seed=7)
+        assert len(batched) == 1
+        np.testing.assert_array_equal(
+            batched[0].reward_history, solo.reward_history
+        )
+
+    def test_empty_seeds_rejected(self):
+        with pytest.raises(TrainingError):
+            train_dqn_batch(MDPConfig(), seeds=(), trainer=TINY)
+
+    def test_geometry_mismatch_rejected(self):
+        with pytest.raises(TrainingError, match="geometry"):
+            train_dqn_batch(
+                MDPConfig(),
+                seeds=(0, 1),
+                trainer=TINY,
+                dqn=tiny_dqn(env_obs=7),
+            )
+
+
+class TestMultiSeedComposition:
+    def test_env_batch_matches_serial_path(self):
+        serial = train_dqn_multi_seed(
+            MDPConfig(), seeds=(0, 1, 2), trainer=TINY, workers=1, env_batch=1
+        )
+        batched = train_dqn_multi_seed(
+            MDPConfig(), seeds=(0, 1, 2), trainer=TINY, workers=1, env_batch=2
+        )
+        assert batched.seeds == serial.seeds
+        for a, b in zip(batched.results, serial.results):
+            np.testing.assert_array_equal(a.reward_history, b.reward_history)
+            for pa, pb in zip(
+                a.agent.network().parameters, b.agent.network().parameters
+            ):
+                np.testing.assert_array_equal(pa, pb)
+
+    def test_fault_takes_out_whole_group(self):
+        # fault_seed=2 at rate 0.5 fails exactly task index 0. With
+        # env_batch=2 that task carries seeds (0, 1), so both are lost and
+        # the second group (seeds 2, 3) survives untouched.
+        multi = train_dqn_multi_seed(
+            MDPConfig(),
+            seeds=(0, 1, 2, 3),
+            trainer=TINY,
+            workers=1,
+            env_batch=2,
+            policy=FaultPolicy(
+                on_error="skip", max_retries=0, fault_rate=0.5, fault_seed=2
+            ),
+        )
+        assert multi.seeds == (2, 3)
+        assert len(multi.failures) == 1
+        assert multi.failures[0].index == 0
+        solo = train_dqn(MDPConfig(), trainer=TINY, seed=2)
+        np.testing.assert_array_equal(
+            multi.results[0].reward_history, solo.reward_history
+        )

@@ -180,8 +180,10 @@ class TestParallelMergedTrace:
         target = enable(monkeypatch, tmp_path, "fanout")
         seeds = (0, 1, 2)
         trainer = TrainerConfig(episodes=2, steps_per_episode=10)
+        # env_batch=1 keeps one pool task per seed: this test is about the
+        # per-task trace merge, which needs a genuine multi-task fan-out.
         train_dqn_multi_seed(
-            MDPConfig(), seeds=seeds, trainer=trainer, workers=2
+            MDPConfig(), seeds=seeds, trainer=trainer, workers=2, env_batch=1
         )
         trace.finish_run()
         records = read_records(target)
