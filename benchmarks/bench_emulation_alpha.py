@@ -96,3 +96,50 @@ def test_search_cost_scales_gently(benchmark, n_points):
     # O(M log M)-ish: cost per point should not blow up with M.
     pts = _design_points(n_points, seed=n_points)
     benchmark(optimize_alpha, pts)
+
+
+def test_alpha_ablation_waveform_truth(benchmark, report):
+    """The quantization scale matters at the waveform level, not just E(α).
+
+    Runs the batched trial engine with EmuBee jammer banks built at the
+    optimised α* versus an over-scaled 3α*: the clipped constellation
+    corrupts the forged chips, and the measured chip-flip rate at the
+    victim collapses accordingly. (An *under*-scaled α keeps the chip
+    structure — it loses absolute transmit power instead, which the
+    fixed-J/S trial normalises away — so the assertion targets the
+    over-scaled regime where fidelity itself degrades.)
+    """
+    from repro.channel.link import JammerSignalType
+    from repro.channel.trials import JammerBank, run_chip_flip_trials
+    from repro.phy.emulation import emulate_template
+
+    alpha_star = emulate_template(b"\x12\x34\x56\x78\x9a\xbc").alpha
+    margin_db, trials, seed = 6.0, 24, 5
+
+    def measure():
+        rates = {}
+        for label, alpha in (
+            ("optimised alpha*", None),
+            ("over-scaled 3 x alpha*", alpha_star * 3.0),
+            ("under-scaled alpha*/3", alpha_star / 3.0),
+        ):
+            rates[label] = run_chip_flip_trials(
+                JammerSignalType.EMUBEE,
+                margin_db,
+                trials=trials,
+                rng=seed,
+                bank=JammerBank(1 << 15, alpha=alpha),
+            )
+        return rates
+
+    rates = benchmark.pedantic(measure, rounds=1, iterations=1)
+    report(
+        render_table(
+            ["jammer bank quantization", "chip flip rate @ +6 dB J/S"],
+            [[k, v] for k, v in rates.items()],
+            title="EmuBee ablation: waveform-level jamming vs "
+            "quantization scale",
+            digits=4,
+        )
+    )
+    assert rates["optimised alpha*"] > 2.0 * rates["over-scaled 3 x alpha*"]

@@ -7,7 +7,13 @@ replaced (and is pinned bit-identical to by the equivalence suites):
   :class:`repro.channel.link.LinkBudget` evaluation,
 * Viterbi decode — vectorised ACS vs the per-state reference loop,
 * batched DQN stepping — stacked ε-greedy act / TD update across N seeds
-  vs N serial single-agent calls.
+  vs N serial single-agent calls,
+* waveform trials — the batched ``(N, samples)`` trial engine with its
+  jammer bank vs the serial per-trial encode/mix/decode loop,
+* DSSS despreading — the ±1 GEMM against ``CHIP_TABLE_PM`` vs the
+  broadcast Hamming scan,
+* sync correlation — windowed preamble searches vs their per-offset
+  Python scans.
 
 Stage wall-clocks land in ``benchmarks/results/BENCH_kernels.json``
 (with the speedup summary under ``"speedups"`` and the PER-cache
@@ -188,3 +194,146 @@ def test_batched_dqn_stepping():
     # must at least beat the serial loop (the big wins are asserted above).
     assert SPEEDUPS["act"] > 1.0
     assert SPEEDUPS["learn"] > 1.0
+
+
+def test_waveform_trial_speedup():
+    from repro.channel.trials import (
+        JammerBank,
+        jam_trials,
+        trial_base,
+        trial_stream,
+    )
+    from repro.channel.waveform import jam_trial
+
+    n, payload_bytes, base = 32, 8, trial_base(0)
+    bank = JammerBank(1 << 15)
+    bank.burst(JammerSignalType.WIFI)  # encode the burst outside the timer
+
+    def draw_payloads():
+        streams = [trial_stream(base, i) for i in range(n)]
+        payloads = [
+            bytes(s.integers(0, 256, payload_bytes, dtype=np.uint8))
+            for s in streams
+        ]
+        return streams, payloads
+
+    def serial():
+        # The pre-PR cost: one encode/mix/demodulate/despread pipeline
+        # per trial, re-running the Wi-Fi OFDM transmit chain each time.
+        streams, payloads = draw_payloads()
+        for s, p in zip(streams, payloads):
+            jam_trial(
+                p,
+                signal_type=JammerSignalType.WIFI,
+                jam_to_signal_db=3.0,
+                rng=s,
+            )
+
+    def batched():
+        streams, payloads = draw_payloads()
+        jam_trials(
+            payloads,
+            signal_type=JammerSignalType.WIFI,
+            jam_to_signal_db=3.0,
+            rngs=streams,
+            bank=bank,
+        )
+
+    serial_s = _timed("kernels.waveform_trials.serial", serial, repeats=2)
+    batched_s = _timed("kernels.waveform_trials.batched", batched, repeats=2)
+    SPEEDUPS["waveform_trials"] = serial_s / batched_s
+
+    # The speedup is honest only because the fast path is exact: every
+    # batch row equals the serial bank-equipped trial on the same stream.
+    streams, payloads = draw_payloads()
+    batch = jam_trials(
+        payloads,
+        signal_type=JammerSignalType.WIFI,
+        jam_to_signal_db=3.0,
+        rngs=streams,
+        bank=bank,
+    )
+    check_streams, _ = draw_payloads()
+    for i in (0, n // 2, n - 1):
+        ref = jam_trial(
+            payloads[i],
+            signal_type=JammerSignalType.WIFI,
+            jam_to_signal_db=3.0,
+            rng=check_streams[i],
+            bank=bank,
+        )
+        assert batch.trial(i) == ref
+
+    _write_artifact()
+    assert SPEEDUPS["waveform_trials"] >= 10.0
+
+
+def test_despread_gemm_speedup():
+    from repro.phy import zigbee as Z
+
+    rng = np.random.default_rng(3)
+    chips = rng.integers(0, 2, size=32 * 4096, dtype=np.uint8)
+
+    gemm_sym, gemm_err = Z.despread(chips)
+    ref_sym, ref_err = Z.despread_reference(chips)
+    assert np.array_equal(gemm_sym, ref_sym)
+    assert np.array_equal(gemm_err, ref_err)
+
+    reference_s = _timed(
+        "kernels.despread.reference",
+        lambda: Z.despread_reference(chips),
+        repeats=5,
+    )
+    gemm_s = _timed(
+        "kernels.despread.gemm", lambda: Z.despread(chips), repeats=5
+    )
+    SPEEDUPS["despread"] = reference_s / gemm_s
+    _write_artifact()
+    assert SPEEDUPS["despread"] >= 3.0
+
+
+def test_sync_correlation_speedup():
+    from repro.phy import preamble as P
+    from repro.phy import sync as S
+    from repro.phy import zigbee as Z
+
+    rng = np.random.default_rng(4)
+    # A long chip stream whose preamble sits near the end keeps the
+    # search in its worst case: every offset is visited.
+    chips = rng.integers(0, 2, size=20_000, dtype=np.uint8)
+    chips[-8 * 32 :] = np.tile(Z.CHIP_TABLE[0], 8)
+    assert S.find_preamble(chips) == S.find_preamble_reference(chips)
+
+    find_ref_s = _timed(
+        "kernels.find_preamble.reference",
+        lambda: S.find_preamble_reference(chips),
+        repeats=2,
+    )
+    find_vec_s = _timed(
+        "kernels.find_preamble.vectorized",
+        lambda: S.find_preamble(chips),
+        repeats=2,
+    )
+    SPEEDUPS["find_preamble"] = find_ref_s / find_vec_s
+
+    stf = P.short_training_field()
+    wf = 0.05 * (
+        rng.standard_normal(12_000) + 1j * rng.standard_normal(12_000)
+    )
+    wf[-2 * stf.size : -stf.size] += stf
+    assert P.locate_preamble(wf) == P.locate_preamble_reference(wf)
+
+    stf_ref_s = _timed(
+        "kernels.locate_preamble.reference",
+        lambda: P.locate_preamble_reference(wf),
+        repeats=2,
+    )
+    stf_vec_s = _timed(
+        "kernels.locate_preamble.vectorized",
+        lambda: P.locate_preamble(wf),
+        repeats=2,
+    )
+    SPEEDUPS["locate_preamble"] = stf_ref_s / stf_vec_s
+    _write_artifact()
+    assert SPEEDUPS["find_preamble"] >= 3.0
+    assert SPEEDUPS["locate_preamble"] >= 3.0

@@ -96,6 +96,74 @@ def fig2b_jamming_effect(
 
 
 # ---------------------------------------------------------------------------
+# Fig. 2(b) waveform validation: analytic model vs batched trial engine
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class WaveformValidationRow:
+    """One jam-margin point comparing analytic and waveform-level truth."""
+
+    jam_to_signal_db: float
+    measured: dict[str, float]  # signal name -> empirical chip flip rate
+    predicted: dict[str, float]  # analytic model (correlated jammers only)
+
+
+def fig2b_waveform_validation(
+    margins=(-6.0, -3.0, 0.0, 3.0, 6.0),
+    *,
+    trials: int = 32,
+    seed: int = 0,
+    runner: ParallelRunner | None = None,
+    trial_batch: int | str | None = None,
+) -> list[WaveformValidationRow]:
+    """Validate the Fig. 2(b) chip-flip model against waveform ground truth.
+
+    Each point runs ``trials`` full waveform-level jamming trials per
+    signal type through the batched engine
+    (:func:`repro.channel.trials.run_chip_flip_trials`) and reports the
+    measured chip error rate next to the analytic
+    :func:`~repro.channel.link.chip_flip_probability` prediction (ZigBee
+    at face-value margin, EmuBee with the fidelity penalty subtracted;
+    Wi-Fi is noise-like, so the correlated model does not apply). The
+    per-point base seed depends only on ``(seed, signal, margin)``, so
+    results are identical for every runner/worker/batch configuration.
+    """
+    from repro.channel.link import EMULATION_LOSS_DB, chip_flip_probability
+    from repro.channel.trials import run_chip_flip_trials
+
+    signals = {
+        "EmuBee": JammerSignalType.EMUBEE,
+        "WiFi": JammerSignalType.WIFI,
+        "ZigBee": JammerSignalType.ZIGBEE,
+    }
+    rows = []
+    for margin in margins:
+        measured = {}
+        for name, sig in signals.items():
+            measured[name] = run_chip_flip_trials(
+                sig,
+                float(margin),
+                trials=trials,
+                rng=derive(seed, f"fig2b-wf/{name}/{float(margin)}"),
+                runner=runner,
+                trial_batch=trial_batch,
+            )
+        predicted = {
+            "ZigBee": chip_flip_probability(float(margin)),
+            "EmuBee": chip_flip_probability(float(margin) - EMULATION_LOSS_DB),
+        }
+        rows.append(
+            WaveformValidationRow(
+                jam_to_signal_db=float(margin),
+                measured=measured,
+                predicted=predicted,
+            )
+        )
+    return rows
+
+
+# ---------------------------------------------------------------------------
 # Figs. 6-8: the parameter sweeps (shared computation)
 # ---------------------------------------------------------------------------
 
@@ -400,6 +468,8 @@ __all__ = [
     "FIG2B_OFFERED_KBPS",
     "JammingEffectRow",
     "fig2b_jamming_effect",
+    "WaveformValidationRow",
+    "fig2b_waveform_validation",
     "LJ_VALUES",
     "SWEEP_CYCLE_VALUES",
     "LH_VALUES",

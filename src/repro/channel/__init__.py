@@ -24,9 +24,21 @@ from repro.channel.spectrum import (
     zigbee_channel_frequency_mhz,
     zigbee_offset_in_wifi_hz,
 )
+from repro.channel.trials import (
+    BatchTrialResult,
+    JammerBank,
+    default_bank,
+    jam_trials,
+    resolve_bank_samples,
+    resolve_trial_batch,
+    run_chip_flip_trials,
+    trial_base,
+    trial_stream,
+)
 from repro.channel.waveform import (
     awgn,
     empirical_chip_flip_rate,
+    empirical_chip_flip_rate_reference,
     jam_trial,
     make_jamming_waveform,
     mix,
@@ -53,8 +65,18 @@ __all__ = [
     "zigbee_offset_in_wifi_hz",
     "awgn",
     "empirical_chip_flip_rate",
+    "empirical_chip_flip_rate_reference",
     "jam_trial",
     "make_jamming_waveform",
     "mix",
     "scale_to_power",
+    "BatchTrialResult",
+    "JammerBank",
+    "default_bank",
+    "jam_trials",
+    "resolve_bank_samples",
+    "resolve_trial_batch",
+    "run_chip_flip_trials",
+    "trial_base",
+    "trial_stream",
 ]

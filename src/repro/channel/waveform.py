@@ -116,11 +116,19 @@ def jam_trial(
     jam_to_signal_db: float,
     noise_to_signal_db: float = -30.0,
     rng: SeedLike = None,
+    offset_hz: float = 0.0,
+    bank=None,
 ) -> WaveformTrialResult:
     """Transmit ``payload`` over ZigBee while a jammer transmits on top.
 
     The victim waveform is scaled to unit power; the jammer and noise are
     set relative to it. The receiver is the real chip-correlation decoder.
+
+    With ``bank`` set (a :class:`repro.channel.trials.JammerBank`), the
+    jammer burst is a random slice of the bank's pre-generated waveform
+    instead of a freshly encoded frame — the serial reference for the
+    batched :func:`repro.channel.trials.jam_trials` engine, which is
+    pinned bit-identical to this path per trial.
     """
     if not payload:
         raise ChannelError("payload must be non-empty")
@@ -128,9 +136,13 @@ def jam_trial(
     phy = zigbee.ZigBeePhy()
     clean = phy.transmit(payload)
     victim = scale_to_power(clean, 0.0)
-    jammer = make_jamming_waveform(
-        signal_type, victim.size, rng=r
-    ) * np.sqrt(db_to_linear(jam_to_signal_db))
+    if bank is not None:
+        unit_jam = bank.waveform(signal_type, victim.size, rng=r, offset_hz=offset_hz)
+    else:
+        unit_jam = make_jamming_waveform(
+            signal_type, victim.size, rng=r, offset_hz=offset_hz
+        )
+    jammer = unit_jam * np.sqrt(db_to_linear(jam_to_signal_db))
     noise = awgn(victim.size, noise_to_signal_db, r)
     rx = mix(victim, jammer, noise)
 
@@ -162,6 +174,37 @@ def empirical_chip_flip_rate(
     """Mean waveform-level chip error rate at a given jam/signal ratio.
 
     Used to validate :func:`repro.channel.link.chip_flip_probability`.
+    Runs on the batched trial engine (:mod:`repro.channel.trials`): trials
+    execute as ``(N, samples)`` tensor batches against the pre-generated
+    jammer bank, with one independent child RNG stream per trial so the
+    aggregate is invariant to batch size and worker count.
+    """
+    # Imported here: trials builds on this module's primitives.
+    from repro.channel.trials import run_chip_flip_trials
+
+    return run_chip_flip_trials(
+        signal_type,
+        jam_to_signal_db,
+        trials=trials,
+        payload_bytes=payload_bytes,
+        noise_to_signal_db=-30.0,
+        rng=rng,
+    )
+
+
+def empirical_chip_flip_rate_reference(
+    signal_type: JammerSignalType,
+    jam_to_signal_db: float,
+    *,
+    trials: int = 10,
+    payload_bytes: int = 8,
+    rng: SeedLike = None,
+) -> float:
+    """Pre-batching :func:`empirical_chip_flip_rate`: one serial stream.
+
+    Draws every payload, jammer frame, and noise vector from a single
+    sequential generator and re-encodes the jammer each trial. Kept as
+    the original-semantics reference for the statistical property tests.
     """
     if trials < 1:
         raise ChannelError("need at least one trial")
@@ -187,4 +230,5 @@ __all__ = [
     "WaveformTrialResult",
     "jam_trial",
     "empirical_chip_flip_rate",
+    "empirical_chip_flip_rate_reference",
 ]

@@ -34,6 +34,7 @@ from repro.core.trainer import (
     train_dqn,
     train_dqn_multi_seed,
 )
+from repro.channel.trials import JAMMER_BANK_ENV, TRIAL_BATCH_ENV
 from repro.core.vecenv import ENV_BATCH_ENV
 from repro.errors import ReproError
 from repro.exec import (
@@ -41,6 +42,7 @@ from repro.exec import (
     ON_ERROR_ENV,
     ON_ERROR_MODES,
     WORKERS_ENV,
+    ParallelRunner,
     resolve_workers,
 )
 from repro.exec import timing
@@ -125,6 +127,10 @@ def _apply_exec_options(args: argparse.Namespace) -> None:
         os.environ[MAX_RETRIES_ENV] = str(args.max_retries)
     if getattr(args, "env_batch", None) is not None:
         os.environ[ENV_BATCH_ENV] = str(args.env_batch)
+    if getattr(args, "trial_batch", None) is not None:
+        os.environ[TRIAL_BATCH_ENV] = str(args.trial_batch)
+    if getattr(args, "jammer_bank", None) is not None:
+        os.environ[JAMMER_BANK_ENV] = str(args.jammer_bank)
 
 
 def cmd_train(args: argparse.Namespace) -> int:
@@ -215,6 +221,41 @@ def cmd_figure(args: argparse.Namespace) -> int:
                 table,
                 title="Fig. 2(b): jamming effect vs distance",
                 digits=1,
+            )
+        )
+    elif name == "2b-wf":
+        runner = (
+            ParallelRunner(name="fig2b_waveform_validation.map")
+            if resolve_workers() > 1
+            else None
+        )
+        rows = figures_mod.fig2b_waveform_validation(
+            trials=args.trials, seed=args.seed, runner=runner
+        )
+        table = [
+            [
+                r.jam_to_signal_db,
+                r.measured["EmuBee"],
+                r.measured["WiFi"],
+                r.measured["ZigBee"],
+                r.predicted["EmuBee"],
+                r.predicted["ZigBee"],
+            ]
+            for r in rows
+        ]
+        print(
+            render_table(
+                [
+                    "J/S (dB)",
+                    "meas Emu",
+                    "meas WiFi",
+                    "meas Zig",
+                    "pred Emu",
+                    "pred Zig",
+                ],
+                table,
+                title="Fig. 2(b) validation: waveform trials vs chip-flip model",
+                digits=4,
             )
         )
     elif name in ("6", "7", "8"):
@@ -461,16 +502,34 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("figure", help="regenerate a paper figure")
     p.add_argument(
         "name",
-        choices=["2b", "6", "7", "8", "9a", "9b", "10", "11a", "11b"],
+        choices=["2b", "2b-wf", "6", "7", "8", "9a", "9b", "10", "11a", "11b"],
     )
     p.add_argument("--slots", type=int, default=5000)
     p.add_argument("--seed", type=int, default=0)
+    p.add_argument(
+        "--trials",
+        type=int,
+        default=32,
+        help="waveform trials per point for figure 2b-wf",
+    )
     p.add_argument(
         "--workers",
         help="process-pool size for the sweep fan-out (overrides "
         "REPRO_WORKERS; 'auto' = one per CPU)",
     )
     _add_fault_args(p)
+    p.add_argument(
+        "--trial-batch",
+        default=None,
+        help="waveform trials shipped per pool task for figure 2b-wf "
+        "(overrides REPRO_TRIAL_BATCH; bit-identical for any setting)",
+    )
+    p.add_argument(
+        "--jammer-bank",
+        default=None,
+        help="jammer waveform bank size in samples (overrides "
+        "REPRO_JAMMER_BANK; 'off' re-encodes the jammer every trial)",
+    )
     p.add_argument(
         "--train-rl",
         action="store_true",

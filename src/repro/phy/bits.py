@@ -49,7 +49,28 @@ def bits_to_bytes(bits: "np.typing.ArrayLike", *, lsb_first: bool = True) -> byt
 
 
 def int_to_bits(value: int, width: int, *, lsb_first: bool = True) -> BitArray:
-    """Serialise ``value`` into ``width`` bits."""
+    """Serialise ``value`` into ``width`` bits.
+
+    Runs as an :func:`numpy.unpackbits` kernel over the value's
+    little-endian byte form (bit-identical to
+    :func:`int_to_bits_reference`, which keeps the original per-bit loop).
+    """
+    if value < 0:
+        raise EncodingError("cannot serialise a negative integer")
+    if width <= 0:
+        raise EncodingError("bit width must be positive")
+    if value >= 1 << width:
+        raise EncodingError(f"value {value} does not fit in {width} bits")
+    n_bytes = (width + 7) // 8
+    octets = np.frombuffer(value.to_bytes(n_bytes, "little"), dtype=np.uint8)
+    bits = np.unpackbits(octets, bitorder="little")[:width]
+    return bits if lsb_first else bits[::-1].copy()
+
+
+def int_to_bits_reference(
+    value: int, width: int, *, lsb_first: bool = True
+) -> BitArray:
+    """Pre-vectorization :func:`int_to_bits`: the per-bit shift loop."""
     if value < 0:
         raise EncodingError("cannot serialise a negative integer")
     if width <= 0:
@@ -61,7 +82,22 @@ def int_to_bits(value: int, width: int, *, lsb_first: bool = True) -> BitArray:
 
 
 def bits_to_int(bits: "np.typing.ArrayLike", *, lsb_first: bool = True) -> int:
-    """Interpret a bit array as an unsigned integer."""
+    """Interpret a bit array as an unsigned integer.
+
+    Packs the bits with :func:`numpy.packbits` and reads the resulting
+    little-endian bytes — exact for any width (Python ints are unbounded),
+    and bit-identical to :func:`bits_to_int_reference`.
+    """
+    arr = as_bits(bits)
+    if not lsb_first:
+        arr = arr[::-1]
+    if arr.size == 0:
+        return 0
+    return int.from_bytes(np.packbits(arr, bitorder="little").tobytes(), "little")
+
+
+def bits_to_int_reference(bits: "np.typing.ArrayLike", *, lsb_first: bool = True) -> int:
+    """Pre-vectorization :func:`bits_to_int`: the per-bit shift-sum loop."""
     arr = as_bits(bits)
     if not lsb_first:
         arr = arr[::-1]
@@ -86,13 +122,48 @@ def bit_error_rate(a: "np.typing.ArrayLike", b: "np.typing.ArrayLike") -> float:
     return hamming_distance(xa, b) / xa.size
 
 
+def _build_crc16_table() -> np.ndarray:
+    """256-entry lookup table for the reflected 0x1021 polynomial.
+
+    Each entry is the CRC state transition of one input octet, generated
+    with the bit-serial recurrence the table replaces.
+    """
+    table = np.empty(256, dtype=np.uint16)
+    for octet in range(256):
+        crc = octet
+        for _ in range(8):
+            if crc & 1:
+                crc = (crc >> 1) ^ 0x8408  # 0x1021 reflected
+            else:
+                crc >>= 1
+        table[octet] = crc
+    table.setflags(write=False)
+    return table
+
+
+#: Byte-at-a-time CRC-16/ITU-T transition table (reflected 0x1021).
+_CRC16_TABLE = _build_crc16_table()
+
+
 def crc16_itut(data: bytes, *, initial: int = 0x0000) -> int:
     """CRC-16/ITU-T as used for the IEEE 802.15.4 frame check sequence.
 
     Polynomial x^16 + x^12 + x^5 + 1 (0x1021), bit-reflected implementation
     (LSB-first shifting, as the standard transmits octets LSB first), zero
     initial value. Returns the 16-bit FCS.
+
+    Table-driven: one lookup per octet instead of eight shift steps,
+    bit-identical to :func:`crc16_itut_reference`.
     """
+    crc = initial & 0xFFFF
+    table = _CRC16_TABLE
+    for octet in bytes(data):
+        crc = (crc >> 8) ^ int(table[(crc ^ octet) & 0xFF])
+    return crc & 0xFFFF
+
+
+def crc16_itut_reference(data: bytes, *, initial: int = 0x0000) -> int:
+    """Pre-table :func:`crc16_itut`: the bit-serial shift loop."""
     crc = initial & 0xFFFF
     for octet in bytes(data):
         crc ^= octet
@@ -143,10 +214,13 @@ __all__ = [
     "bytes_to_bits",
     "bits_to_bytes",
     "int_to_bits",
+    "int_to_bits_reference",
     "bits_to_int",
+    "bits_to_int_reference",
     "hamming_distance",
     "bit_error_rate",
     "crc16_itut",
+    "crc16_itut_reference",
     "append_crc",
     "check_crc",
     "flip_bits",

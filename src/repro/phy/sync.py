@@ -51,13 +51,55 @@ def _correlate_symbol(chips: np.ndarray, symbol: int) -> int:
     return int(np.count_nonzero(chips != zigbee.CHIP_TABLE[symbol]))
 
 
+def _zero_symbol_distances(arr: np.ndarray) -> np.ndarray:
+    """Hamming distance to the zero symbol at every chip offset.
+
+    ``out[o]`` is the distance of ``arr[o : o+32]`` to ``CHIP_TABLE[0]``
+    for every offset with a full window — the sliding correlation the
+    continuous preamble search runs, computed as one windowed compare.
+    """
+    window = zigbee.CHIPS_PER_SYMBOL
+    if arr.size < window:
+        return np.zeros(0, dtype=np.int64)
+    views = np.lib.stride_tricks.sliding_window_view(arr, window)
+    return (views != zigbee.CHIP_TABLE[0]).sum(axis=1, dtype=np.int64)
+
+
 def find_preamble(
     chips: np.ndarray, *, start: int = 0, tolerance: int = SEARCH_CHIP_TOLERANCE
 ) -> int | None:
     """Chip index of the first run of zero symbols long enough to sync.
 
     Scans every chip offset (real receivers correlate continuously — the
-    frame is not chip-aligned to anything).
+    frame is not chip-aligned to anything). The O(N·L) scan is a windowed
+    compare over all offsets at once; the result is bit-identical to
+    :func:`find_preamble_reference`.
+    """
+    arr = np.asarray(chips, dtype=np.uint8).ravel()
+    window = zigbee.CHIPS_PER_SYMBOL
+    needed = MIN_PREAMBLE_SYMBOLS
+    limit = arr.size - needed * window
+    if limit < start:
+        return None
+    dist = _zero_symbol_distances(arr)
+    ok = dist <= tolerance
+    # A sync at offset o needs `needed` consecutive aligned zero symbols:
+    # ok[o] & ok[o + 32] & ... & ok[o + (needed-1)*32].
+    hits = ok[start : limit + 1].copy()
+    for k in range(1, needed):
+        hits &= ok[start + k * window : limit + 1 + k * window]
+    idx = np.flatnonzero(hits)
+    if idx.size == 0:
+        return None
+    return start + int(idx[0])
+
+
+def find_preamble_reference(
+    chips: np.ndarray, *, start: int = 0, tolerance: int = SEARCH_CHIP_TOLERANCE
+) -> int | None:
+    """Pre-vectorization :func:`find_preamble`: the per-offset Python scan.
+
+    Kept as the ground truth the windowed search is pinned against.
     """
     arr = np.asarray(chips, dtype=np.uint8).ravel()
     window = zigbee.CHIPS_PER_SYMBOL
@@ -167,6 +209,7 @@ __all__ = [
     "SEARCH_CHIP_TOLERANCE",
     "SyncResult",
     "find_preamble",
+    "find_preamble_reference",
     "synchronise",
     "receive_stream",
 ]

@@ -104,6 +104,32 @@ def despread(chips: "np.typing.ArrayLike") -> tuple[np.ndarray, np.ndarray]:
     Returns ``(symbols, chip_errors)`` where ``chip_errors[i]`` is the
     Hamming distance between the received 32-chip window and the winning
     sequence — the receiver's confidence signal.
+
+    The Hamming distances are computed as one ±1 GEMM against
+    :data:`CHIP_TABLE_PM`: for antipodal chips the correlation ``c``
+    satisfies ``distance = (32 - c) / 2`` exactly (sums of ±1 are exact
+    in float64), so the result — including the first-index argmin
+    tie-break — is bit-identical to :func:`despread_reference`.
+    """
+    arr = as_bits(chips)
+    if arr.size % CHIPS_PER_SYMBOL:
+        raise DecodingError(
+            f"chip count {arr.size} is not a multiple of {CHIPS_PER_SYMBOL}"
+        )
+    windows_pm = 1.0 - 2.0 * arr.reshape(-1, CHIPS_PER_SYMBOL).astype(np.float64)
+    corr = windows_pm @ CHIP_TABLE_PM.T
+    dist = (CHIPS_PER_SYMBOL - corr) * 0.5
+    symbols = dist.argmin(axis=1).astype(np.uint8)
+    errors = dist.min(axis=1).astype(np.int64)
+    return symbols, errors
+
+
+def despread_reference(
+    chips: "np.typing.ArrayLike",
+) -> tuple[np.ndarray, np.ndarray]:
+    """Pre-GEMM :func:`despread`: broadcast Hamming-distance compare.
+
+    Kept as the ground truth the shipped GEMM path is pinned against.
     """
     arr = as_bits(chips)
     if arr.size % CHIPS_PER_SYMBOL:
@@ -202,6 +228,78 @@ def oqpsk_demodulate(
     return chips
 
 
+def oqpsk_modulate_batch(
+    chips: "np.typing.ArrayLike",
+    samples_per_chip: int = DEFAULT_SAMPLES_PER_CHIP,
+) -> np.ndarray:
+    """O-QPSK-modulate ``N`` equal-length chip streams at once.
+
+    ``chips`` is an ``(N, n_chips)`` 0/1 matrix; the result is an
+    ``(N, samples)`` complex matrix whose row ``i`` is bit-identical to
+    ``oqpsk_modulate(chips[i], samples_per_chip)`` — the pulse tiling is
+    the same outer product per row and the per-row RMS normalisation
+    reduces along the contiguous last axis exactly as the 1-D mean does.
+    """
+    arr = np.asarray(chips, dtype=np.uint8)
+    if arr.ndim != 2:
+        raise EncodingError(f"chip matrix must be 2-D, got shape {arr.shape}")
+    if arr.size and arr.max(initial=0) > 1:
+        raise EncodingError("bit array contains values other than 0 and 1")
+    if arr.shape[1] % 2 or arr.shape[1] == 0:
+        raise EncodingError("chip count must be even (I/Q pairs)")
+    n, _ = arr.shape
+    levels = 1.0 - 2.0 * arr.astype(np.float64)
+    pulse = half_sine_pulse(samples_per_chip)
+    n_pairs = arr.shape[1] // 2
+    body = 2 * n_pairs * samples_per_chip
+    total = body + samples_per_chip
+    i_branch = np.zeros((n, total), dtype=np.float64)
+    q_branch = np.zeros((n, total), dtype=np.float64)
+    i_branch[:, :body] = (levels[:, 0::2, None] * pulse).reshape(n, -1)
+    q_branch[:, samples_per_chip : samples_per_chip + body] = (
+        levels[:, 1::2, None] * pulse
+    ).reshape(n, -1)
+    waveform = i_branch + 1j * q_branch
+    rms = np.sqrt(np.mean(np.abs(waveform) ** 2, axis=1))
+    # Divide (not multiply by a reciprocal): the serial path divides, and
+    # only division reproduces its rounding bit-for-bit.
+    return waveform / np.where(rms > 0, rms, 1.0)[:, None]
+
+
+def oqpsk_demodulate_batch(
+    waveforms: np.ndarray,
+    samples_per_chip: int = DEFAULT_SAMPLES_PER_CHIP,
+) -> np.ndarray:
+    """Hard chip decisions for ``N`` equal-length waveforms at once.
+
+    ``waveforms`` is an ``(N, samples)`` complex matrix; the result is an
+    ``(N, n_chips)`` chip matrix whose row ``i`` is bit-identical to
+    ``oqpsk_demodulate(waveforms[i], samples_per_chip)``: each branch is
+    one ``(N, n_pairs, win)`` tensor matched-filtered against the
+    half-sine pulse in a single matmul.
+    """
+    wf = np.asarray(waveforms, dtype=np.complex128)
+    if wf.ndim != 2:
+        raise DecodingError(f"waveform matrix must be 2-D, got shape {wf.shape}")
+    pulse = half_sine_pulse(samples_per_chip)
+    n = wf.shape[0]
+    n_pairs = (wf.shape[1] - samples_per_chip) // (2 * samples_per_chip)
+    if n_pairs <= 0:
+        raise DecodingError("waveform too short to contain any chips")
+    body = 2 * n_pairs * samples_per_chip
+    corr_i = wf.real[:, :body].reshape(n, n_pairs, -1) @ pulse
+    corr_q = (
+        wf.imag[:, samples_per_chip : samples_per_chip + body].reshape(
+            n, n_pairs, -1
+        )
+        @ pulse
+    )
+    chips = np.empty((n, 2 * n_pairs), dtype=np.uint8)
+    chips[:, 0::2] = corr_i < 0
+    chips[:, 1::2] = corr_q < 0
+    return chips
+
+
 @dataclass(frozen=True)
 class ZigBeePhyConfig:
     """Configuration of the ZigBee PHY chain."""
@@ -286,9 +384,12 @@ __all__ = [
     "symbols_to_bytes",
     "spread",
     "despread",
+    "despread_reference",
     "half_sine_pulse",
     "oqpsk_modulate",
     "oqpsk_demodulate",
+    "oqpsk_modulate_batch",
+    "oqpsk_demodulate_batch",
     "ZigBeePhyConfig",
     "ZigBeeDecodeResult",
     "ZigBeePhy",

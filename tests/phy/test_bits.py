@@ -143,3 +143,55 @@ class TestFlipBits:
         bits = np.zeros(32, dtype=np.uint8)
         B.flip_bits(bits, 1.0, rng)
         assert bits.sum() == 0
+
+
+class TestVectorizedAgainstReferences:
+    """The unpackbits/packbits/table paths equal the retained loops."""
+
+    @given(
+        value=st.integers(min_value=0, max_value=2**80 - 1),
+        extra=st.integers(0, 20),
+        lsb_first=st.booleans(),
+    )
+    def test_int_to_bits_matches_reference(self, value, extra, lsb_first):
+        width = max(value.bit_length(), 1) + extra
+        assert np.array_equal(
+            B.int_to_bits(value, width, lsb_first=lsb_first),
+            B.int_to_bits_reference(value, width, lsb_first=lsb_first),
+        )
+
+    @given(
+        bits=st.lists(st.integers(0, 1), min_size=0, max_size=90),
+        lsb_first=st.booleans(),
+    )
+    def test_bits_to_int_matches_reference(self, bits, lsb_first):
+        arr = np.array(bits, dtype=np.uint8)
+        assert B.bits_to_int(arr, lsb_first=lsb_first) == (
+            B.bits_to_int_reference(arr, lsb_first=lsb_first)
+        )
+
+    @given(value=st.integers(min_value=0, max_value=2**64 - 1))
+    def test_int_bits_roundtrip(self, value):
+        width = max(value.bit_length(), 1)
+        assert B.bits_to_int(B.int_to_bits(value, width)) == value
+
+    @given(data=st.binary(min_size=0, max_size=200),
+           initial=st.integers(0, 0xFFFF))
+    def test_crc16_table_matches_bit_serial(self, data, initial):
+        assert B.crc16_itut(data, initial=initial) == (
+            B.crc16_itut_reference(data, initial=initial)
+        )
+
+    def test_crc16_known_vector(self):
+        # CRC-16/KERMIT check value for "123456789".
+        assert B.crc16_itut(b"123456789") == 0x2189
+        assert B.crc16_itut_reference(b"123456789") == 0x2189
+
+    def test_int_to_bits_validation_preserved(self):
+        for fn in (B.int_to_bits, B.int_to_bits_reference):
+            with pytest.raises(EncodingError):
+                fn(-1, 4)
+            with pytest.raises(EncodingError):
+                fn(1, 0)
+            with pytest.raises(EncodingError):
+                fn(16, 4)
