@@ -2,12 +2,13 @@
 
 Commands
 --------
-``solve``    Solve the anti-jamming MDP exactly and print the policy.
-``train``    Train the DQN, report metrics, optionally save the artifact.
-``figure``   Regenerate one of the paper's figures as an ASCII table.
-``emulate``  Run the EmuBee emulation pipeline on a hex payload.
-``obs``      Summarise a ``RUN_<name>.jsonl`` observability trace.
-``bench``    Compare a ``BENCH_<name>.json`` artifact against a baseline.
+``solve``        Solve the anti-jamming MDP exactly and print the policy.
+``train``        Train the DQN, report metrics, optionally save the artifact.
+``figure``       Regenerate one of the paper's figures as an ASCII table.
+``emulate``      Run the EmuBee emulation pipeline on a hex payload.
+``obs``          Summarise a ``RUN_<name>.jsonl`` observability trace.
+``bench``        Compare a ``BENCH_<name>.json`` artifact against a baseline.
+``field-scale``  Scale the sharded multi-network field grid, print slots/sec.
 
 Results (tables, figures, emulation output) go to stdout; status chatter
 goes through the :mod:`repro.obs.log` structured logger on stderr and can
@@ -50,6 +51,9 @@ from repro.nn.serialize import artifact_size_bytes, parameter_count, save_parame
 from repro.obs import log as obs_log
 from repro.obs import trace as obs_trace
 from repro.phy.emulation import WaveformEmulator
+from repro.sim.engine import FIELD_BATCH_ENV
+from repro.sim.scenario import SCHEMES
+from repro.sim.shard import SHARDS_ENV
 
 log = obs_log.get_logger("cli")
 
@@ -131,6 +135,10 @@ def _apply_exec_options(args: argparse.Namespace) -> None:
         os.environ[TRIAL_BATCH_ENV] = str(args.trial_batch)
     if getattr(args, "jammer_bank", None) is not None:
         os.environ[JAMMER_BANK_ENV] = str(args.jammer_bank)
+    if getattr(args, "shards", None) is not None:
+        os.environ[SHARDS_ENV] = str(args.shards)
+    if getattr(args, "field_batch", None) is not None:
+        os.environ[FIELD_BATCH_ENV] = str(args.field_batch)
 
 
 def cmd_train(args: argparse.Namespace) -> int:
@@ -381,6 +389,85 @@ def _load_bench_stages(path: Path) -> dict[str, float]:
     }
 
 
+def cmd_field_scale(args: argparse.Namespace) -> int:
+    """``repro field-scale``: slots/sec of the sharded multi-network grid.
+
+    Runs the grid at each requested network count and prints the
+    slots/sec-vs-node-count curve (nodes = networks × (1 + peripherals)).
+    """
+    import time as _time
+
+    from repro.sim.field import FieldConfig
+    from repro.sim.scenario import field_jammer_config, paper_defaults
+    from repro.sim.shard import FieldGrid, GridConfig, InterferenceModel
+
+    _apply_exec_options(args)
+    try:
+        network_counts = [int(n) for n in args.networks.split(",") if n.strip()]
+    except ValueError:
+        raise ReproError(f"--networks must be a comma list, got {args.networks!r}")
+    if not network_counts or any(n < 1 for n in network_counts):
+        raise ReproError("--networks needs positive network counts")
+    defaults = paper_defaults()
+    field_cfg = FieldConfig(
+        mdp=defaults.mdp,
+        jammer=field_jammer_config(defaults),
+        sampling=args.sampling,
+    )
+    interference = (
+        InterferenceModel(radius_m=args.radius) if args.radius > 0 else None
+    )
+    rows = []
+    for n in network_counts:
+        grid = FieldGrid(
+            GridConfig(
+                field=field_cfg,
+                num_networks=n,
+                width_m=args.width,
+                height_m=args.height,
+                scheme=args.scheme,
+                interference=interference,
+            ),
+            seed=args.seed,
+            shards=args.shards,
+            workers=args.workers,
+            field_batch=args.field_batch,
+        )
+        start = _time.perf_counter()
+        result = grid.run(args.slots)
+        elapsed = _time.perf_counter() - start
+        timing.REGISTRY.record(
+            f"field_scale.n{n}", elapsed, items=n * args.slots
+        )
+        nodes = n * (1 + field_cfg.num_peripherals)
+        rows.append(
+            [
+                n,
+                nodes,
+                result.shards,
+                f"{n * args.slots / elapsed:.0f}",
+                f"{result.mean_goodput:.1f}",
+                f"{result.mean_utilization:.3f}",
+            ]
+        )
+    print(
+        render_table(
+            [
+                "networks",
+                "nodes",
+                "shards",
+                "net-slots/s",
+                "goodput pkts/slot",
+                "utilization",
+            ],
+            rows,
+            title=f"field grid scaling ({args.sampling} sampling, "
+            f"{args.slots} slots, scheme {args.scheme})",
+        )
+    )
+    return 0
+
+
 def cmd_bench(args: argparse.Namespace) -> int:
     """``repro bench diff``: fail on wall-clock regressions vs a baseline.
 
@@ -550,6 +637,61 @@ def build_parser() -> argparse.ArgumentParser:
         help="how many counters/events to list (default 10)",
     )
     p.set_defaults(func=cmd_obs)
+
+    p = sub.add_parser(
+        "field-scale",
+        help="scale the sharded multi-network field grid and report slots/sec",
+    )
+    p.add_argument(
+        "--networks",
+        default="256",
+        help="comma list of network counts to sweep (default 256)",
+    )
+    p.add_argument("--slots", type=int, default=200)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument(
+        "--scheme",
+        choices=SCHEMES,
+        default="optimal",
+        help="anti-jamming scheme every network runs (default optimal)",
+    )
+    p.add_argument(
+        "--sampling",
+        choices=["aggregate", "packet"],
+        default="aggregate",
+        help="data-phase pricing: 'aggregate' batches thousands of networks "
+        "per slot, 'packet' is the paper's exact per-packet loop",
+    )
+    p.add_argument("--width", type=float, default=100.0, help="field width, m")
+    p.add_argument("--height", type=float, default=100.0, help="field height, m")
+    p.add_argument(
+        "--radius",
+        type=float,
+        default=0.0,
+        help="cross-network co-channel interference radius in metres "
+        "(0 disables interference)",
+    )
+    p.add_argument(
+        "--shards",
+        type=int,
+        default=None,
+        help=f"spatial shards to split the field into (overrides {SHARDS_ENV})",
+    )
+    p.add_argument(
+        "--field-batch",
+        type=int,
+        default=None,
+        help="slots of uniforms drawn per rng refill in aggregate sampling "
+        f"(overrides {FIELD_BATCH_ENV})",
+    )
+    p.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="process-pool workers for the shard sweep",
+    )
+    _add_fault_args(p)
+    p.set_defaults(func=cmd_field_scale)
 
     p = sub.add_parser(
         "bench", help="compare a BENCH_<name>.json against a committed baseline"

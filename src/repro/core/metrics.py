@@ -88,6 +88,39 @@ class SlotLog:
             raise SimulationError("history was not kept; set keep_history=True")
         return list(self._history)
 
+    def snapshot(self) -> "SlotLog":
+        """Counter-only copy of the current totals (history is not carried).
+
+        Pair with :meth:`delta` to aggregate over a window of slots inside
+        a log that keeps accumulating — e.g. one ``run_experiment`` call on
+        a simulator that has already run.
+        """
+        return SlotLog(
+            slots=self.slots,
+            successes=self.successes,
+            hops=self.hops,
+            useful_hops=self.useful_hops,
+            pc_slots=self.pc_slots,
+            pc_wins=self.pc_wins,
+            jam_attempts=self.jam_attempts,
+            total_reward=self.total_reward,
+        )
+
+    def delta(self, baseline: "SlotLog") -> "SlotLog":
+        """Counters accumulated since ``baseline`` (an earlier snapshot)."""
+        if baseline.slots > self.slots:
+            raise SimulationError("baseline snapshot is newer than this log")
+        return SlotLog(
+            slots=self.slots - baseline.slots,
+            successes=self.successes - baseline.successes,
+            hops=self.hops - baseline.hops,
+            useful_hops=self.useful_hops - baseline.useful_hops,
+            pc_slots=self.pc_slots - baseline.pc_slots,
+            pc_wins=self.pc_wins - baseline.pc_wins,
+            jam_attempts=self.jam_attempts - baseline.jam_attempts,
+            total_reward=self.total_reward - baseline.total_reward,
+        )
+
     def summary(self) -> MetricSummary:
         if self.slots == 0:
             raise SimulationError("no slots recorded")

@@ -334,6 +334,50 @@ class _StackedMLP:
             agent.optimizer._t = self.adam_t
 
 
+def greedy_policy_actions(agents: list[DQNAgent], obs: np.ndarray) -> np.ndarray:
+    """Greedy actions for N agents from one stacked forward pass.
+
+    ``obs`` has shape (N, observation_size); row i is scored by
+    ``agents[i]``. Greedy action selection consumes no rng, and each
+    stacked slice applies the same IEEE operations as the serial
+    ``agent.act(obs_i, greedy=True)``, so the result is bit-identical to
+    acting one agent at a time. When every entry is the *same* agent
+    object (a shared deployed policy), its 2-D weights broadcast across
+    the stack without copying.
+    """
+    if not agents:
+        raise TrainingError("need at least one agent")
+    first = agents[0]
+    obs = np.asarray(obs, dtype=np.float64)
+    if obs.shape != (len(agents), first.config.observation_size):
+        raise TrainingError(
+            f"expected observations of shape "
+            f"({len(agents)}, {first.config.observation_size}), got {obs.shape}"
+        )
+    if all(agent is first for agent in agents):
+        out = obs[:, None, :]
+        for layer in first.online.layers:
+            if isinstance(layer, Dense):
+                out = np.matmul(out, layer.weight) + layer.bias
+            elif isinstance(layer, ReLU):
+                out = np.where(out > 0, out, 0.0)
+            else:
+                raise TrainingError(
+                    f"batched act supports Dense/ReLU only, got "
+                    f"{type(layer).__name__}"
+                )
+        q = out
+    else:
+        for agent in agents[1:]:
+            if (
+                agent.config.observation_size != first.config.observation_size
+                or agent.config.num_actions != first.config.num_actions
+            ):
+                raise TrainingError("all agents must share geometry")
+        q = _StackedMLP(agents).forward_online(obs[:, None, :])
+    return q.argmax(axis=2)[:, 0]
+
+
 def _batched_act(stack: _StackedMLP, agents: list[DQNAgent], obs: np.ndarray) -> np.ndarray:
     """ε-greedy actions for all seeds from one stacked forward pass.
 
@@ -600,5 +644,6 @@ __all__ = [
     "DEFAULT_ENV_BATCH",
     "resolve_env_batch",
     "VectorEnv",
+    "greedy_policy_actions",
     "train_dqn_batch",
 ]

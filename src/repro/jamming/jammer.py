@@ -172,5 +172,25 @@ class FieldJammer:
     def is_camping(self) -> bool:
         return self._camping is not None
 
+    @property
+    def active_channels(self) -> tuple[int, ...]:
+        """Channels under attack as of the last window advanced.
+
+        Empty before the first :meth:`attack_profile` call and while the
+        jammer is burning a slot re-acquiring a lost victim.
+        """
+        return self._active_block if self._active_power > 0 else ()
+
+    def is_attacking(self, channel: int) -> bool:
+        """Whether ``channel`` sits inside the currently active attack block.
+
+        Reflects the jammer's state as of the last window advanced by
+        :meth:`attack_profile` — the query the field engines use to decide
+        whether a hop vacated an attacked channel.
+        """
+        if not 0 <= channel < self.config.num_channels:
+            raise ConfigurationError(f"channel {channel} out of range")
+        return channel in self._active_block and self._active_power > 0
+
 
 __all__ = ["FieldJammerConfig", "AttackProfile", "FieldJammer"]

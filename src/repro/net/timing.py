@@ -12,8 +12,10 @@ seconds (Fig. 9(b)).
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import lru_cache
 
 import numpy as np
+from scipy.special import gammaincinv, ndtri
 
 from repro.constants import (
     TIME_DATA_PROCESSING_S,
@@ -24,6 +26,16 @@ from repro.constants import (
 from repro.errors import ConfigurationError
 from repro.rng import SeedLike, make_rng
 
+#: CSMA turnaround mean folded into the per-packet service time; calibrated
+#: so the no-jamming goodput of Fig. 10(a) lands near the paper's curve.
+TURNAROUND_MEAN_S = 4.6e-3
+
+#: Coefficient of variation of the off-channel recovery wait (Fig. 9(b) tail).
+OFF_CHANNEL_RECOVERY_CV = 0.6
+
+#: Uniforms are clipped into this open interval before quantile inversion.
+_QUANTILE_EPS = 1e-9
+
 
 def _gamma_sample(
     rng: np.random.Generator, mean: float, cv: float, size: int | None = None
@@ -32,6 +44,31 @@ def _gamma_sample(
     shape = 1.0 / (cv * cv)
     scale = mean / shape
     return rng.gamma(shape, scale, size=size)
+
+
+@lru_cache(maxsize=32)
+def _gamma_quantile_table(shape: float) -> tuple[np.ndarray, np.ndarray]:
+    """Dense quantile grid of the unit-scale gamma with the given shape."""
+    grid = np.linspace(0.0, 1.0, 4097)
+    table = gammaincinv(shape, np.clip(grid, _QUANTILE_EPS, 1.0 - _QUANTILE_EPS))
+    return grid, table
+
+
+def gamma_from_uniform(u, mean: float, cv: float):
+    """Map uniforms in [0, 1) through the gamma(mean, cv) quantile function.
+
+    Interpolated from a cached 4097-point table — the aggregate sampling
+    path trades exact inverse-CDF evaluation for speed. Elementwise, so a
+    row of a batched input maps exactly as the same row alone would.
+    """
+    shape = 1.0 / (cv * cv)
+    grid, table = _gamma_quantile_table(shape)
+    return np.interp(u, grid, table) * (mean / shape)
+
+
+def normal_from_uniform(u):
+    """Standard-normal quantile of uniforms in [0, 1) (elementwise)."""
+    return ndtri(np.clip(u, _QUANTILE_EPS, 1.0 - _QUANTILE_EPS))
 
 
 @dataclass(frozen=True)
@@ -95,9 +132,31 @@ class TimingModel:
         the paper's 148..806 packets/slot over 1..5 s slots.
         """
         r = make_rng(rng)
-        turnaround = _gamma_sample(r, 4.6e-3, self.jitter_cv)
+        turnaround = _gamma_sample(r, TURNAROUND_MEAN_S, self.jitter_cv)
         return float(
             self.round_trip(r) + self.processing(r) + turnaround
+        )
+
+    @property
+    def packet_service_mean_s(self) -> float:
+        """Mean of :meth:`packet_service_time`."""
+        return (
+            TURNAROUND_MEAN_S + self.round_trip_mean_s + self.processing_mean_s
+        )
+
+    @property
+    def packet_service_std_s(self) -> float:
+        """Standard deviation of :meth:`packet_service_time`.
+
+        The three gamma components are independent with relative jitter
+        ``jitter_cv``, so variances add.
+        """
+        return self.jitter_cv * float(
+            np.sqrt(
+                TURNAROUND_MEAN_S**2
+                + self.round_trip_mean_s**2
+                + self.processing_mean_s**2
+            )
         )
 
     def negotiation_time(
@@ -124,9 +183,72 @@ class TimingModel:
             total += float(self.polling(r))
             if include_recovery and r.random() < self.off_channel_probability:
                 total += float(
-                    _gamma_sample(r, self.off_channel_recovery_mean_s, 0.6)
+                    _gamma_sample(
+                        r,
+                        self.off_channel_recovery_mean_s,
+                        OFF_CHANNEL_RECOVERY_CV,
+                    )
                 )
         return total
 
+    # -- fixed-draw (aggregate) sampling ------------------------------------
 
-__all__ = ["TimingModel"]
+    def negotiation_uniform_count(self, num_nodes: int) -> int:
+        """Uniforms :meth:`negotiation_time_from_uniforms` consumes per slot.
+
+        One DQN-inference draw plus, per node: polling, an off-channel
+        indicator, and a recovery draw. The recovery draw is *always*
+        consumed (and conditionally applied), which is what keeps the
+        per-slot draw budget fixed.
+        """
+        if num_nodes < 1:
+            raise ConfigurationError(f"need at least one node, got {num_nodes}")
+        return 3 * num_nodes + 1
+
+    def negotiation_time_from_uniforms(
+        self,
+        num_nodes: int,
+        uniforms,
+        *,
+        include_recovery=True,
+    ):
+        """Negotiation time computed from pre-drawn uniforms (vectorisable).
+
+        ``uniforms`` has ``negotiation_uniform_count(num_nodes)`` entries
+        along its last axis — layout: ``[dqn, polling x n, off-channel
+        indicator x n, recovery x n]``. ``include_recovery`` may be a bool
+        array broadcast against the leading axes. Elementwise in the
+        uniforms, so each batch row matches the same row computed solo.
+        """
+        n = int(num_nodes)
+        count = self.negotiation_uniform_count(n)
+        u = np.asarray(uniforms, dtype=np.float64)
+        if u.shape[-1] != count:
+            raise ConfigurationError(
+                f"expected {count} uniforms along the last axis, got {u.shape[-1]}"
+            )
+        dqn = gamma_from_uniform(
+            u[..., 0], self.dqn_inference_mean_s, self.jitter_cv
+        )
+        polling = gamma_from_uniform(
+            u[..., 1 : 1 + n], self.polling_per_node_mean_s, self.jitter_cv
+        ).sum(axis=-1)
+        off = u[..., 1 + n : 1 + 2 * n] < self.off_channel_probability
+        recovery = (
+            gamma_from_uniform(
+                u[..., 1 + 2 * n :],
+                self.off_channel_recovery_mean_s,
+                OFF_CHANNEL_RECOVERY_CV,
+            )
+            * off
+        ).sum(axis=-1)
+        return dqn + polling + np.where(include_recovery, recovery, 0.0)
+
+
+__all__ = [
+    "TimingModel",
+    "TURNAROUND_MEAN_S",
+    "OFF_CHANNEL_RECOVERY_CV",
+    "gamma_from_uniform",
+    "normal_from_uniform",
+]

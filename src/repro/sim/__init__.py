@@ -18,6 +18,13 @@ from repro.sim.field import (
     StatePolicyAdapter,
 )
 from repro.sim.scenario import paper_defaults, scheme_policy
+from repro.sim.shard import (
+    FieldGrid,
+    GridConfig,
+    GridResult,
+    InterferenceModel,
+    SchemeAdapterFactory,
+)
 from repro.sim.testbed import Testbed, TestbedConfig, WindowStats
 
 __all__ = [
@@ -28,6 +35,11 @@ __all__ = [
     "FieldExperiment",
     "FieldResult",
     "StatePolicyAdapter",
+    "FieldGrid",
+    "GridConfig",
+    "GridResult",
+    "InterferenceModel",
+    "SchemeAdapterFactory",
     "paper_defaults",
     "scheme_policy",
     "Testbed",

@@ -3,20 +3,101 @@
 Both the abstract environments and the field experiment advance in fixed
 time slots. :class:`SlottedSimulation` centralises the loop plumbing —
 clock, slot counter, per-slot records, deterministic seeding — so concrete
-simulations only implement :meth:`run_slot`.
+simulations only implement :meth:`run_slot`. :class:`UniformStream` is the
+shared sampling substrate of the aggregate ("fixed draw budget") sampling
+mode: one generator consumed block-wise, with a block size that provably
+cannot change the values drawn.
 """
 
 from __future__ import annotations
 
 import abc
+import os
 from dataclasses import dataclass
 from typing import Any, Generic, TypeVar
 
-from repro.errors import SimulationError
+import numpy as np
+
+from repro.errors import ConfigurationError, SimulationError
 from repro.obs import trace as obs_trace
 from repro.rng import SeedLike, make_rng
 
 RecordT = TypeVar("RecordT")
+
+#: Environment variable selecting how many slots' worth of uniforms the
+#: aggregate sampling mode draws per stream refill.
+FIELD_BATCH_ENV = "REPRO_FIELD_BATCH"
+
+#: Default slots per refill when nothing is configured.
+DEFAULT_FIELD_BATCH = 64
+
+
+def resolve_field_batch(value: int | str | None = None) -> int:
+    """Resolve the stream refill size from an override or ``REPRO_FIELD_BATCH``.
+
+    ``None`` (and an unset/empty environment) selects
+    :data:`DEFAULT_FIELD_BATCH`. Any value is bit-identical to any other:
+    ``Generator.random(n)`` produces exactly the doubles ``n`` sequential
+    ``random()`` calls would, so blocking only changes buffering.
+    """
+    if value is None:
+        value = os.environ.get(FIELD_BATCH_ENV, "")
+    if isinstance(value, str):
+        text = value.strip().lower()
+        if not text:
+            return DEFAULT_FIELD_BATCH
+        try:
+            value = int(text)
+        except ValueError:
+            raise ConfigurationError(
+                f"{FIELD_BATCH_ENV} must be an integer, got {value!r}"
+            ) from None
+    batch = int(value)
+    if batch < 1:
+        raise ConfigurationError(f"field batch must be >= 1, got {batch}")
+    return batch
+
+
+def check_num_slots(num_slots: int) -> int:
+    """Validate a slot budget (shared by every slotted engine)."""
+    if num_slots < 1:
+        raise SimulationError("must run at least one slot")
+    return int(num_slots)
+
+
+class UniformStream:
+    """A generator consumed as fixed-size per-slot batches of uniforms.
+
+    The aggregate sampling mode spends a *fixed* number of uniform draws
+    per slot, so the stream can be prefetched in blocks of
+    ``block_slots * draws_per_slot`` doubles. Consumption is a sequential
+    prefix of the generator's output for any block size, which is what
+    makes ``REPRO_FIELD_BATCH`` a pure performance knob.
+    """
+
+    def __init__(
+        self,
+        rng: SeedLike,
+        draws_per_slot: int,
+        *,
+        block_slots: int | str | None = None,
+    ) -> None:
+        if draws_per_slot < 1:
+            raise ConfigurationError("draws_per_slot must be >= 1")
+        self._rng = make_rng(rng)
+        self._draws = int(draws_per_slot)
+        self._block = resolve_field_batch(block_slots) * self._draws
+        self._buffer = np.empty(0)
+        self._cursor = 0
+
+    def next_slot(self) -> np.ndarray:
+        """The next slot's ``draws_per_slot`` uniforms (a read-only view)."""
+        if self._cursor >= self._buffer.size:
+            self._buffer = self._rng.random(self._block)
+            self._cursor = 0
+        out = self._buffer[self._cursor : self._cursor + self._draws]
+        self._cursor += self._draws
+        return out
 
 
 @dataclass(frozen=True)
@@ -48,9 +129,13 @@ class SlottedSimulation(abc.ABC, Generic[RecordT]):
         """Execute one slot and return its record."""
 
     def run(self, num_slots: int) -> list[RecordT]:
-        """Run ``num_slots`` slots, appending to :attr:`records`."""
-        if num_slots < 1:
-            raise SimulationError("must run at least one slot")
+        """Run ``num_slots`` slots, appending to :attr:`records`.
+
+        :attr:`records` accumulates across calls (the simulation clock
+        keeps advancing); the return value holds only the records this
+        call produced.
+        """
+        num_slots = check_num_slots(num_slots)
         new: list[RecordT] = []
         with obs_trace.span(
             "sim/run", sim=type(self).__name__, slots=num_slots
@@ -66,4 +151,12 @@ class SlottedSimulation(abc.ABC, Generic[RecordT]):
         self.records.clear()
 
 
-__all__ = ["SlotRecord", "SlottedSimulation"]
+__all__ = [
+    "FIELD_BATCH_ENV",
+    "DEFAULT_FIELD_BATCH",
+    "resolve_field_batch",
+    "check_num_slots",
+    "UniformStream",
+    "SlotRecord",
+    "SlottedSimulation",
+]

@@ -5,6 +5,13 @@ Replaces the USRP/CC26X2R1 testbed: a hub runs an anti-jamming policy on
 latencies, and streams data packets for the rest of each slot while a
 time-domain cross-technology jammer sweeps and camps on its own cadence.
 The output is the paper's headline unit: goodput in packets per time slot.
+
+Each slot is split into two halves so the multi-network grid engine
+(:mod:`repro.sim.shard`) can interleave networks within a slot:
+:meth:`FieldExperiment.begin_slot` makes every decision and random draw and
+freezes them into a :class:`FieldSlotPlan`; :meth:`FieldExperiment.finish_slot`
+prices the data phase (optionally scaled by cross-network interference) and
+commits the outcome. ``run_slot`` is exactly ``finish_slot(begin_slot(...))``.
 """
 
 from __future__ import annotations
@@ -17,14 +24,17 @@ from repro.core.dqn import DQNAgent
 from repro.core.envs import StepInfo
 from repro.core.mdp import TJ, J, MDPConfig, State
 from repro.core.metrics import MetricSummary, SlotLog
-from repro.errors import ConfigurationError, SimulationError
+from repro.errors import ConfigurationError
 from repro.jamming.jammer import FieldJammer, FieldJammerConfig
-from repro.net.goodput import GoodputModel
+from repro.net.goodput import AGGREGATE_DRAWS_PER_SLOT, GoodputModel, GoodputReport
 from repro.net.timing import TimingModel
 from repro.obs import trace as obs_trace
 from repro.obs.metrics import METRICS
 from repro.rng import SeedLike, derive, make_rng
-from repro.sim.engine import SlottedSimulation
+from repro.sim.engine import SlottedSimulation, UniformStream, check_num_slots
+
+#: Valid values of :attr:`FieldConfig.sampling`.
+SAMPLING_MODES = ("packet", "aggregate")
 
 
 class StatePolicyAdapter:
@@ -56,12 +66,17 @@ class StatePolicyAdapter:
         pool = hop_channels or tuple(range(config.num_channels))
         self.channel = int(pool[int(self._rng.integers(len(pool)))])
 
+    def hop(self) -> int:
+        """Draw the next channel from the hop set (excluding the current one)."""
+        pool = self.hop_channels or tuple(range(self.config.num_channels))
+        others = [c for c in pool if c != self.channel]
+        self.channel = int(others[int(self._rng.integers(len(others)))])
+        return self.channel
+
     def decide(self, last_state: State) -> tuple[int, int]:
         action = self.policy.action(last_state)
         if action.hop:
-            pool = self.hop_channels or tuple(range(self.config.num_channels))
-            others = [c for c in pool if c != self.channel]
-            self.channel = int(others[int(self._rng.integers(len(others)))])
+            self.hop()
         return self.channel, action.power_index
 
     def observe(self, state: State, channel: int, power_index: int) -> None:
@@ -98,13 +113,19 @@ class DQNPolicyAdapter:
             (1.0, self.channel / max(config.num_channels - 1, 1), 0.0)
         ] * history_length
 
-    def decide(self, last_state: State) -> tuple[int, int]:
-        del last_state  # the DQN reads its own history instead
-        obs = np.array(self._history, dtype=np.float64).reshape(-1)
-        action = self.agent.act(obs, greedy=True)
-        channel, power_index = divmod(action, self.config.num_power_levels)
+    def observation(self) -> np.ndarray:
+        """The flat 3·I history vector the agent acts on."""
+        return np.array(self._history, dtype=np.float64).reshape(-1)
+
+    def apply(self, action: int) -> tuple[int, int]:
+        """Commit a flat action index, returning (channel, power_index)."""
+        channel, power_index = divmod(int(action), self.config.num_power_levels)
         self.channel = int(channel)
         return self.channel, int(power_index)
+
+    def decide(self, last_state: State) -> tuple[int, int]:
+        del last_state  # the DQN reads its own history instead
+        return self.apply(self.agent.act(self.observation(), greedy=True))
 
     def observe(self, state: State, channel: int, power_index: int) -> None:
         outcome = 1.0 if state not in (TJ, J) else (0.5 if state == TJ else 0.0)
@@ -130,6 +151,11 @@ class FieldConfig:
     #: A slot counts as jammed (state J) when at least this fraction of it
     #: was under winning jamming power.
     jam_state_threshold: float = 0.5
+    #: How the data phase is priced. ``"packet"`` draws every packet's
+    #: service time (the paper's exact loop); ``"aggregate"`` spends a fixed
+    #: uniform budget per slot on a renewal-process approximation, which is
+    #: what lets the grid engine batch thousands of networks per slot.
+    sampling: str = "packet"
 
     def __post_init__(self) -> None:
         if self.tx_slot_duration_s <= 0:
@@ -138,6 +164,10 @@ class FieldConfig:
             raise ConfigurationError("need at least one peripheral")
         if not 0.0 < self.jam_state_threshold <= 1.0:
             raise ConfigurationError("jam state threshold must be in (0, 1]")
+        if self.sampling not in SAMPLING_MODES:
+            raise ConfigurationError(
+                f"sampling must be one of {SAMPLING_MODES}, got {self.sampling!r}"
+            )
         if (
             self.jammer is not None
             and self.jammer.num_channels != self.mdp.num_channels
@@ -145,6 +175,32 @@ class FieldConfig:
             raise ConfigurationError(
                 "jammer and MDP disagree on the number of channels"
             )
+
+
+@dataclass(frozen=True)
+class FieldSlotPlan:
+    """Everything decided/drawn for one slot before the data phase is priced.
+
+    Produced by :meth:`FieldExperiment.begin_slot`; consumed exactly once
+    by :meth:`FieldExperiment.finish_slot`. The grid engine begins every
+    network's slot first, derives cross-network interference from the
+    resulting channel/power assignment, then finishes them all.
+    """
+
+    slot_index: int
+    channel: int
+    previous_channel: int
+    power_index: int
+    hopped: bool
+    tx_power: float
+    negotiation_s: float
+    jam_attempted: bool
+    jam_defeated: bool
+    jam_fraction: float
+    old_channel_attacked: bool
+    next_state: State
+    #: Pre-drawn goodput uniforms (aggregate sampling only).
+    goodput_uniforms: np.ndarray | None
 
 
 @dataclass(frozen=True)
@@ -182,6 +238,7 @@ class FieldExperiment(SlottedSimulation[FieldSlotRecord]):
         adapter,
         *,
         seed: SeedLike = None,
+        field_batch: int | None = None,
     ) -> None:
         super().__init__(config.tx_slot_duration_s, seed=derive(seed, "field"))
         self.config = config
@@ -197,10 +254,30 @@ class FieldExperiment(SlottedSimulation[FieldSlotRecord]):
         self._log = SlotLog()
         self._state: State = 1
         self._streak = 1
+        self._stream: UniformStream | None = None
+        if config.sampling == "aggregate":
+            self._stream = UniformStream(
+                self.rng,
+                config.timing.negotiation_uniform_count(config.num_peripherals)
+                + AGGREGATE_DRAWS_PER_SLOT,
+                block_slots=field_batch,
+            )
+
+    @property
+    def log(self) -> SlotLog:
+        """The metrics log accumulated over the experiment's lifetime."""
+        return self._log
 
     # -- slot mechanics --------------------------------------------------------
 
-    def run_slot(self, slot_index: int, start_time: float) -> FieldSlotRecord:
+    def begin_slot(self, slot_index: int, start_time: float) -> FieldSlotPlan:
+        """Decide, negotiate, and advance the jammer for one slot.
+
+        Consumes all of the slot's randomness and freezes the outcome into
+        a :class:`FieldSlotPlan`; pricing and commitment happen in
+        :meth:`finish_slot`. Must be followed by exactly one ``finish_slot``
+        call before the next ``begin_slot``.
+        """
         cfg = self.config
         previous_channel = self.adapter.channel
         channel, power_index = self.adapter.decide(self._state)
@@ -209,11 +286,23 @@ class FieldExperiment(SlottedSimulation[FieldSlotRecord]):
 
         # Announcement: stranded nodes (after a jammed slot) slow it down.
         stranded_recovery = self._state == J
-        negotiation = cfg.timing.negotiation_time(
-            cfg.num_peripherals,
-            self.rng,
-            include_recovery=stranded_recovery,
-        ) + self.goodput.slot_guard_s
+        goodput_uniforms: np.ndarray | None = None
+        if self._stream is not None:
+            draws = self._stream.next_slot()
+            negotiation = float(
+                cfg.timing.negotiation_time_from_uniforms(
+                    cfg.num_peripherals,
+                    draws[:-AGGREGATE_DRAWS_PER_SLOT],
+                    include_recovery=stranded_recovery,
+                )
+            ) + self.goodput.slot_guard_s
+            goodput_uniforms = np.array(draws[-AGGREGATE_DRAWS_PER_SLOT:])
+        else:
+            negotiation = cfg.timing.negotiation_time(
+                cfg.num_peripherals,
+                self.rng,
+                include_recovery=stranded_recovery,
+            ) + self.goodput.slot_guard_s
 
         # The jammer sweeps/camps across this slot's window.
         jam_fraction = 0.0
@@ -231,9 +320,7 @@ class FieldExperiment(SlottedSimulation[FieldSlotRecord]):
                 else:
                     jam_fraction = profile.jammed_fraction
             if hopped:
-                old_channel_attacked = (
-                    previous_channel in self.jammer._active_block
-                )
+                old_channel_attacked = self.jammer.is_attacking(previous_channel)
 
         # Slot state label.
         if attempted and not defeated and jam_fraction >= cfg.jam_state_threshold:
@@ -248,17 +335,60 @@ class FieldExperiment(SlottedSimulation[FieldSlotRecord]):
             )
             next_state = self._streak
 
-        # Fill the data phase with packets.
-        report = self.goodput.run_slot(
-            cfg.tx_slot_duration_s,
-            success_probability=1.0 - jam_fraction,
-            negotiation_s=min(negotiation, cfg.tx_slot_duration_s),
-            rng=self.rng,
+        return FieldSlotPlan(
+            slot_index=slot_index,
+            channel=channel,
+            previous_channel=previous_channel,
+            power_index=power_index,
+            hopped=hopped,
+            tx_power=tx_power,
+            negotiation_s=negotiation,
+            jam_attempted=attempted,
+            jam_defeated=defeated,
+            jam_fraction=jam_fraction,
+            old_channel_attacked=old_channel_attacked,
+            next_state=next_state,
+            goodput_uniforms=goodput_uniforms,
         )
 
+    def finish_slot(
+        self, plan: FieldSlotPlan, *, interference_factor: float = 1.0
+    ) -> FieldSlotRecord:
+        """Price the data phase of a begun slot and commit its outcome.
+
+        ``interference_factor`` scales the per-packet success probability
+        by co-channel interference from neighbouring networks (1.0 = none);
+        it affects only delivery, never the control path.
+        """
+        cfg = self.config
+        success_probability = (1.0 - plan.jam_fraction) * interference_factor
+        negotiation_s = min(plan.negotiation_s, cfg.tx_slot_duration_s)
+        if plan.goodput_uniforms is not None:
+            neg, eff, att, dlv = self.goodput.run_slot_aggregate(
+                cfg.tx_slot_duration_s,
+                success_probability=success_probability,
+                negotiation_s=negotiation_s,
+                uniforms=plan.goodput_uniforms,
+            )
+            report = GoodputReport(
+                slot_duration_s=cfg.tx_slot_duration_s,
+                negotiation_s=float(neg),
+                effective_tx_s=float(eff),
+                packets_delivered=int(dlv),
+                packets_attempted=int(att),
+            )
+        else:
+            report = self.goodput.run_slot(
+                cfg.tx_slot_duration_s,
+                success_probability=success_probability,
+                negotiation_s=negotiation_s,
+                rng=self.rng,
+            )
+
+        next_state = plan.next_state
         success = next_state != J
-        reward = -float(tx_power)
-        if hopped:
+        reward = -float(plan.tx_power)
+        if plan.hopped:
             reward -= cfg.mdp.loss_hop
         if next_state == J:
             reward -= cfg.mdp.loss_jam
@@ -266,69 +396,81 @@ class FieldExperiment(SlottedSimulation[FieldSlotRecord]):
             StepInfo(
                 state=next_state,
                 success=success,
-                hopped=hopped,
-                power_index=power_index,
-                power_raised=power_index > 0,
-                jam_attempted=attempted,
-                jam_defeated=attempted and defeated,
-                avoided_jam=hopped and success and old_channel_attacked,
+                hopped=plan.hopped,
+                power_index=plan.power_index,
+                power_raised=plan.power_index > 0,
+                jam_attempted=plan.jam_attempted,
+                jam_defeated=plan.jam_attempted and plan.jam_defeated,
+                avoided_jam=plan.hopped and success and plan.old_channel_attacked,
                 reward=reward,
-                channel=channel,
+                channel=plan.channel,
             )
         )
         METRICS.inc("sim.slots")
-        if hopped:
+        if plan.hopped:
             METRICS.inc("sim.hops")
-        if power_index > 0:
+        if plan.power_index > 0:
             METRICS.inc("sim.pc_slots")
-        if attempted:
+        if plan.jam_attempted:
             METRICS.inc("sim.jam_attempts")
         obs_trace.event(
             "sim.slot",
-            slot=slot_index,
+            slot=plan.slot_index,
             state=next_state,
-            channel=channel,
-            power=power_index,
-            hopped=hopped,
-            jam_attempted=attempted,
-            jammed_fraction=jam_fraction,
+            channel=plan.channel,
+            power=plan.power_index,
+            hopped=plan.hopped,
+            jam_attempted=plan.jam_attempted,
+            jammed_fraction=plan.jam_fraction,
             delivered=report.packets_delivered,
         )
-        self.adapter.observe(next_state, channel, power_index)
+        self.adapter.observe(next_state, plan.channel, plan.power_index)
         self._state = next_state
         return FieldSlotRecord(
-            slot=slot_index,
-            channel=channel,
-            power_index=power_index,
+            slot=plan.slot_index,
+            channel=plan.channel,
+            power_index=plan.power_index,
             state=next_state,
             packets_delivered=report.packets_delivered,
             packets_attempted=report.packets_attempted,
             negotiation_s=report.negotiation_s,
             utilization=report.utilization,
-            jammed_fraction=jam_fraction,
+            jammed_fraction=plan.jam_fraction,
         )
+
+    def run_slot(self, slot_index: int, start_time: float) -> FieldSlotRecord:
+        return self.finish_slot(self.begin_slot(slot_index, start_time))
 
     # -- public API -----------------------------------------------------------------
 
     def run_experiment(self, num_slots: int) -> FieldResult:
-        if num_slots < 1:
-            raise SimulationError("must run at least one slot")
+        """Run ``num_slots`` more slots and summarise *this call's* window.
+
+        The experiment object keeps simulating from where it left off:
+        :attr:`records` and the metrics log accumulate across calls, but the
+        returned :class:`FieldResult` aggregates only the slots this call
+        produced.
+        """
+        num_slots = check_num_slots(num_slots)
+        baseline = self._log.snapshot()
         records = self.run(num_slots)
-        goodput = float(np.mean([r.packets_delivered for r in records]))
-        utilization = float(np.mean([r.utilization for r in records]))
+        goodput = sum(r.packets_delivered for r in records) / len(records)
+        utilization = sum(r.utilization for r in records) / len(records)
         return FieldResult(
             slots=num_slots,
-            goodput_pkts_per_slot=goodput,
-            utilization=utilization,
-            metrics=self._log.summary(),
+            goodput_pkts_per_slot=float(goodput),
+            utilization=float(utilization),
+            metrics=self._log.delta(baseline).summary(),
             records=tuple(records),
         )
 
 
 __all__ = [
+    "SAMPLING_MODES",
     "StatePolicyAdapter",
     "DQNPolicyAdapter",
     "FieldConfig",
+    "FieldSlotPlan",
     "FieldSlotRecord",
     "FieldResult",
     "FieldExperiment",

@@ -111,3 +111,47 @@ class TestSweep:
         j.attack_profile(0.0, 30.0, victim_channel=7)
         j.reset()
         assert not j.is_camping
+
+
+class TestAttackQueries:
+    """The public attack-state accessors the field engines rely on."""
+
+    def test_idle_before_first_window(self):
+        j = FieldJammer(seed=9)
+        assert j.active_channels == ()
+        assert not j.is_attacking(0)
+
+    def test_active_block_exposed_when_attacking(self):
+        j = FieldJammer(seed=9)
+        # Long window: the sweep finds and camps on the victim.
+        profile = j.attack_profile(0.0, 30.0, victim_channel=7)
+        assert profile.attempted and j.is_camping
+        assert j.is_attacking(7)
+        assert 7 in j.active_channels
+        assert len(j.active_channels) == j.config.jam_width
+        for channel in j.active_channels:
+            assert j.is_attacking(channel)
+        quiet = set(range(j.config.num_channels)) - set(j.active_channels)
+        assert not any(j.is_attacking(c) for c in quiet)
+
+    def test_reacquisition_slot_reports_idle(self):
+        j = FieldJammer(seed=9)
+        j.attack_profile(0.0, 30.0, victim_channel=7)
+        assert j.is_camping
+        # The victim escapes: the jammer burns its next slot re-acquiring,
+        # during which no channel is under attack.
+        block = j.active_channels
+        escaped = next(
+            c for c in range(j.config.num_channels) if c not in block
+        )
+        profile = j.attack_profile(30.0, 33.0, victim_channel=escaped)
+        if not profile.attempted:
+            assert j.active_channels == ()
+            assert not j.is_attacking(escaped)
+
+    def test_range_check(self):
+        j = FieldJammer(seed=9)
+        with pytest.raises(ConfigurationError):
+            j.is_attacking(-1)
+        with pytest.raises(ConfigurationError):
+            j.is_attacking(j.config.num_channels)

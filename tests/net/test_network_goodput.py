@@ -150,3 +150,106 @@ class TestGoodput:
             model.average_goodput(1.0, slots=0)
         with pytest.raises(ConfigurationError):
             GoodputModel(num_nodes=0)
+
+
+class TestAggregateSlot:
+    """run_slot_aggregate: the fixed-draw twin of run_slot."""
+
+    def setup_method(self):
+        self.model = GoodputModel()
+        self.rng = np.random.default_rng(0)
+
+    def _uniforms(self, shape=()):
+        return self.rng.random(shape + (2,))
+
+    def test_certain_success_delivers_everything(self):
+        neg, tx, attempted, delivered = self.model.run_slot_aggregate(
+            3.0,
+            success_probability=1.0,
+            negotiation_s=0.07,
+            uniforms=self._uniforms(),
+        )
+        assert attempted > 0
+        assert delivered == attempted
+        assert float(neg) == 0.07
+
+    def test_certain_failure_delivers_nothing(self):
+        _, _, attempted, delivered = self.model.run_slot_aggregate(
+            3.0,
+            success_probability=0.0,
+            negotiation_s=0.07,
+            uniforms=self._uniforms(),
+        )
+        assert attempted > 0
+        assert delivered == 0
+
+    def test_negotiation_consuming_slot(self):
+        neg, tx, attempted, delivered = self.model.run_slot_aggregate(
+            3.0,
+            success_probability=1.0,
+            negotiation_s=5.0,
+            uniforms=self._uniforms(),
+        )
+        # Mirrors the exact path: the whole slot burns on negotiation.
+        assert float(neg) == 3.0
+        assert float(tx) == 0.0
+        assert attempted == 0 and delivered == 0
+
+    def test_batch_rows_match_solo(self):
+        u = self._uniforms((8,))
+        p = np.linspace(0.1, 1.0, 8)
+        neg = np.full(8, 0.07)
+        batch = self.model.run_slot_aggregate(
+            3.0, success_probability=p, negotiation_s=neg, uniforms=u
+        )
+        for i in range(8):
+            solo = self.model.run_slot_aggregate(
+                3.0,
+                success_probability=p[i],
+                negotiation_s=0.07,
+                uniforms=u[i],
+            )
+            for b, s in zip(batch, solo):
+                assert b[i] == s
+
+    def test_tracks_exact_sampler_statistics(self):
+        u = self._uniforms((3000,))
+        _, _, _, delivered = self.model.run_slot_aggregate(
+            3.0,
+            success_probability=0.8,
+            negotiation_s=0.07,
+            uniforms=u,
+        )
+        exact = [
+            self.model.run_slot(
+                3.0,
+                success_probability=0.8,
+                rng=self.rng,
+                negotiation_s=0.07,
+            ).packets_delivered
+            for _ in range(300)
+        ]
+        assert delivered.mean() == pytest.approx(np.mean(exact), rel=0.05)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            self.model.run_slot_aggregate(
+                3.0,
+                success_probability=1.5,
+                negotiation_s=0.07,
+                uniforms=self._uniforms(),
+            )
+        with pytest.raises(ConfigurationError):
+            self.model.run_slot_aggregate(
+                3.0,
+                success_probability=0.5,
+                negotiation_s=-0.1,
+                uniforms=self._uniforms(),
+            )
+        with pytest.raises(ConfigurationError):
+            self.model.run_slot_aggregate(
+                3.0,
+                success_probability=0.5,
+                negotiation_s=0.07,
+                uniforms=np.zeros(3),
+            )

@@ -70,3 +70,60 @@ class TestNegotiation:
     def test_needs_a_node(self):
         with pytest.raises(ConfigurationError):
             TimingModel().negotiation_time(0)
+
+
+class TestFixedDrawKernels:
+    """The uniform-budget kernels behind aggregate (batched) sampling."""
+
+    def setup_method(self):
+        self.t = TimingModel()
+
+    def test_uniform_count(self):
+        assert self.t.negotiation_uniform_count(1) == 4
+        assert self.t.negotiation_uniform_count(3) == 10
+        with pytest.raises(ConfigurationError):
+            self.t.negotiation_uniform_count(0)
+
+    def test_wrong_budget_rejected(self):
+        with pytest.raises(ConfigurationError):
+            self.t.negotiation_time_from_uniforms(3, np.zeros(9))
+
+    def test_batch_rows_match_solo(self):
+        # Elementwise contract: row i of a batch equals the same uniforms
+        # evaluated alone — the property grid batching rests on.
+        rng = np.random.default_rng(0)
+        u = rng.random((6, self.t.negotiation_uniform_count(3)))
+        batch = self.t.negotiation_time_from_uniforms(3, u)
+        for i in range(6):
+            assert batch[i] == self.t.negotiation_time_from_uniforms(3, u[i])
+
+    def test_matches_sequential_sampler_statistics(self):
+        rng = np.random.default_rng(1)
+        u = rng.random((4000, self.t.negotiation_uniform_count(3)))
+        fixed = self.t.negotiation_time_from_uniforms(3, u).mean()
+        exact = np.mean(
+            [self.t.negotiation_time(3, rng) for _ in range(4000)]
+        )
+        assert fixed == pytest.approx(exact, rel=0.05)
+
+    def test_no_recovery_drops_tail(self):
+        rng = np.random.default_rng(2)
+        u = rng.random((1000, self.t.negotiation_uniform_count(3)))
+        with_tail = self.t.negotiation_time_from_uniforms(3, u)
+        without = self.t.negotiation_time_from_uniforms(
+            3, u, include_recovery=False
+        )
+        assert np.all(without <= with_tail)
+        assert without.mean() < 0.2 < with_tail.mean()
+
+    def test_quantile_helpers(self):
+        from repro.net.timing import gamma_from_uniform, normal_from_uniform
+
+        assert normal_from_uniform(0.5) == pytest.approx(0.0, abs=1e-9)
+        assert normal_from_uniform(0.9772) == pytest.approx(2.0, abs=1e-2)
+        u = np.linspace(0.01, 0.99, 99)
+        g = gamma_from_uniform(u, 2.0, 0.6)
+        assert np.all(np.diff(g) > 0)  # quantile functions are monotone
+        assert np.all(g > 0)
+        # Mean recovered from the quantile grid (trapezoid ~ E[X]).
+        assert g.mean() == pytest.approx(2.0, rel=0.05)

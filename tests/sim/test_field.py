@@ -191,3 +191,128 @@ class TestFieldExperiment:
         a = self.run_scheme("optimal", slots=80, seed=9)
         b = self.run_scheme("optimal", slots=80, seed=9)
         assert a.goodput_pkts_per_slot == b.goodput_pkts_per_slot
+
+
+class TestSamplingModes:
+    def _experiment(self, sampling, seed=21):
+        d = paper_defaults()
+        cfg = FieldConfig(
+            mdp=d.mdp, jammer=field_jammer_config(d), sampling=sampling
+        )
+        policy = scheme_policy("optimal", d.mdp)
+        return FieldExperiment(
+            cfg, StatePolicyAdapter(policy, d.mdp, seed=seed), seed=seed
+        )
+
+    def test_sampling_validation(self):
+        d = paper_defaults()
+        with pytest.raises(ConfigurationError):
+            FieldConfig(mdp=d.mdp, sampling="bogus")
+
+    def test_aggregate_tracks_packet_statistics(self):
+        # The renewal-CLT data phase is an approximation of the per-packet
+        # loop, not a reskin — but their goodput must agree closely.
+        packet = self._experiment("packet").run_experiment(200)
+        aggregate = self._experiment("aggregate").run_experiment(200)
+        assert aggregate.goodput_pkts_per_slot == pytest.approx(
+            packet.goodput_pkts_per_slot, rel=0.05
+        )
+        assert aggregate.utilization == pytest.approx(
+            packet.utilization, rel=0.05
+        )
+
+    def test_aggregate_reproducible(self):
+        a = self._experiment("aggregate").run_experiment(60)
+        b = self._experiment("aggregate").run_experiment(60)
+        assert a.goodput_pkts_per_slot == b.goodput_pkts_per_slot
+        assert a.metrics == b.metrics
+
+
+class TestRepeatedRuns:
+    def _experiment(self, seed=17):
+        d = paper_defaults()
+        cfg = FieldConfig(mdp=d.mdp, jammer=field_jammer_config(d))
+        policy = scheme_policy("optimal", d.mdp)
+        return FieldExperiment(
+            cfg, StatePolicyAdapter(policy, d.mdp, seed=seed), seed=seed
+        )
+
+    def test_windows_continue_where_left_off(self):
+        # Two 40-slot calls replay exactly as one 80-slot call: the
+        # experiment resumes mid-stream rather than restarting.
+        split = self._experiment()
+        first = split.run_experiment(40)
+        second = split.run_experiment(40)
+        whole = self._experiment().run_experiment(80)
+        assert [r.slot for r in second.records] == list(range(40, 80))
+        combined = list(first.records) + list(second.records)
+        assert len(combined) == len(whole.records)
+        for mine, ref in zip(combined, whole.records):
+            assert mine == ref
+
+    def test_per_call_summaries_and_accumulated_records(self):
+        exp = self._experiment()
+        first = exp.run_experiment(30)
+        second = exp.run_experiment(30)
+        # Each FieldResult covers only its own window...
+        assert first.metrics.slots == 30
+        assert second.metrics.slots == 30
+        assert len(second.records) == 30
+        # ...while the experiment-level record list accumulates.
+        assert len(exp.records) == 60
+        whole_goodput = sum(
+            r.packets_delivered for r in exp.records
+        ) / len(exp.records)
+        assert whole_goodput == pytest.approx(
+            (first.goodput_pkts_per_slot + second.goodput_pkts_per_slot) / 2
+        )
+
+
+class TestUniformStream:
+    def test_block_size_invariance(self):
+        from repro.rng import make_rng
+        from repro.sim.engine import UniformStream
+
+        small = UniformStream(make_rng(3), 5, block_slots=1)
+        large = UniformStream(make_rng(3), 5, block_slots=64)
+        for _ in range(10):
+            assert list(small.next_slot()) == list(large.next_slot())
+
+    def test_matches_sequential_draws(self):
+        from repro.rng import make_rng
+        from repro.sim.engine import UniformStream
+
+        stream = UniformStream(make_rng(4), 3, block_slots=7)
+        reference = make_rng(4)
+        for _ in range(20):
+            got = list(stream.next_slot())
+            assert got == list(reference.random(3))
+
+    def test_validation(self):
+        from repro.rng import make_rng
+        from repro.sim.engine import UniformStream
+
+        with pytest.raises(ConfigurationError):
+            UniformStream(make_rng(0), 0)
+        with pytest.raises(ConfigurationError):
+            UniformStream(make_rng(0), 3, block_slots=0)
+
+
+class TestFieldBatchResolution:
+    def test_default_and_override(self, monkeypatch):
+        from repro.sim.engine import resolve_field_batch
+
+        monkeypatch.delenv("REPRO_FIELD_BATCH", raising=False)
+        assert resolve_field_batch() == 64
+        monkeypatch.setenv("REPRO_FIELD_BATCH", "8")
+        assert resolve_field_batch() == 8
+        assert resolve_field_batch(2) == 2
+
+    def test_rejects_garbage(self, monkeypatch):
+        from repro.sim.engine import resolve_field_batch
+
+        monkeypatch.setenv("REPRO_FIELD_BATCH", "zero")
+        with pytest.raises(ConfigurationError):
+            resolve_field_batch()
+        with pytest.raises(ConfigurationError):
+            resolve_field_batch(0)

@@ -1,0 +1,257 @@
+"""Determinism and equivalence tests for the sharded field grid.
+
+The contract under test: sharding, worker fan-out, batching and record
+retention are *pure performance knobs* — none of them may change a single
+bit of the simulation. And a grid of N networks is exactly N solo
+:class:`FieldExperiment` runs on derived seeds, coupled only through
+delivery-time interference.
+"""
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.core.dqn import DQNAgent, DQNConfig
+from repro.errors import ConfigurationError
+from repro.sim.field import (
+    DQNPolicyAdapter,
+    FieldConfig,
+    FieldExperiment,
+)
+from repro.sim.scenario import field_jammer_config, paper_defaults
+from repro.sim.shard import (
+    FieldGrid,
+    GridConfig,
+    InterferenceModel,
+    SchemeAdapterFactory,
+    network_positions,
+    network_seed,
+    resolve_shards,
+)
+
+SLOTS = 40
+
+
+def _field_config(sampling: str = "aggregate") -> FieldConfig:
+    defaults = paper_defaults()
+    return FieldConfig(
+        mdp=defaults.mdp,
+        jammer=field_jammer_config(defaults),
+        sampling=sampling,
+    )
+
+
+def _grid_config(sampling: str = "aggregate", **kwargs) -> GridConfig:
+    return GridConfig(field=_field_config(sampling), **kwargs)
+
+
+def _solo_result(sampling: str, seed: int, index: int, slots: int = SLOTS):
+    """Network ``index`` of a grid replayed as a standalone experiment."""
+    cfg = _field_config(sampling)
+    net = network_seed(seed, index)
+    adapter = SchemeAdapterFactory("optimal")(cfg.mdp, net)
+    return FieldExperiment(cfg, adapter, seed=net).run_experiment(slots)
+
+
+class TestResolveShards:
+    def test_defaults_to_one(self, monkeypatch):
+        monkeypatch.delenv("REPRO_SHARDS", raising=False)
+        assert resolve_shards() == 1
+        monkeypatch.setenv("REPRO_SHARDS", "")
+        assert resolve_shards() == 1
+
+    def test_env_and_override(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SHARDS", "3")
+        assert resolve_shards() == 3
+        assert resolve_shards(5) == 5
+        assert resolve_shards("auto") >= 1
+
+    def test_rejects_garbage(self, monkeypatch):
+        with pytest.raises(ConfigurationError):
+            resolve_shards("many")
+        with pytest.raises(ConfigurationError):
+            resolve_shards(0)
+        monkeypatch.setenv("REPRO_SHARDS", "-2")
+        with pytest.raises(ConfigurationError):
+            resolve_shards()
+
+
+class TestGridConfig:
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            _grid_config(num_networks=0)
+        with pytest.raises(ConfigurationError):
+            _grid_config(width_m=0.0)
+        with pytest.raises(ConfigurationError):
+            _grid_config(scheme="nonesuch")
+        with pytest.raises(ConfigurationError):
+            InterferenceModel(radius_m=-1.0)
+
+    def test_positions_deterministic(self):
+        a = network_positions(7, 10, 100.0, 50.0)
+        b = network_positions(7, 10, 100.0, 50.0)
+        assert np.array_equal(a, b)
+        assert a.shape == (10, 2)
+        assert a[:, 0].max() <= 100.0 and a[:, 1].max() <= 50.0
+
+
+class TestSoloEquivalence:
+    """A 1-network grid is bit-identical to a solo FieldExperiment."""
+
+    @pytest.mark.parametrize("sampling", ["packet", "aggregate"])
+    def test_single_network_matches_solo(self, sampling):
+        seed = 11
+        grid = FieldGrid(
+            _grid_config(sampling, num_networks=1, keep_records=True),
+            seed=seed,
+        )
+        got = grid.run(SLOTS)
+        want = _solo_result(sampling, seed, 0)
+        assert got.goodput_pkts_per_slot[0] == want.goodput_pkts_per_slot
+        assert got.utilization[0] == want.utilization
+        assert got.metrics[0] == want.metrics
+        assert len(got.records[0]) == len(want.records)
+        for mine, ref in zip(got.records[0], want.records):
+            assert dataclasses.astuple(mine) == dataclasses.astuple(ref)
+
+    @pytest.mark.parametrize("sampling", ["packet", "aggregate"])
+    def test_network_in_grid_matches_solo(self, sampling):
+        # Without interference the networks are independent: any network of
+        # a multi-network grid replays alone on its derived seed.
+        seed, index = 3, 4
+        grid = FieldGrid(_grid_config(sampling, num_networks=6), seed=seed)
+        got = grid.run(SLOTS).network_result(index)
+        want = _solo_result(sampling, seed, index)
+        assert got.goodput_pkts_per_slot == want.goodput_pkts_per_slot
+        assert got.utilization == want.utilization
+        assert got.metrics == want.metrics
+
+
+class TestKnobInvariance:
+    """Shards, workers, batching, records: zero effect on results."""
+
+    @pytest.mark.parametrize("sampling", ["packet", "aggregate"])
+    def test_shard_count_invariance(self, sampling):
+        cfg = _grid_config(
+            sampling,
+            num_networks=10,
+            width_m=30.0,
+            height_m=30.0,
+            interference=InterferenceModel(radius_m=15.0),
+        )
+        slots = 20 if sampling == "packet" else SLOTS
+        base = FieldGrid(cfg, seed=5, shards=1).run(slots)
+        for shards in (2, 3, 8):
+            got = FieldGrid(cfg, seed=5, shards=shards).run(slots)
+            # Empty strips are skipped, so the effective count may be lower.
+            assert 1 <= got.shards <= min(shards, cfg.num_networks)
+            assert np.array_equal(
+                got.goodput_pkts_per_slot, base.goodput_pkts_per_slot
+            )
+            assert np.array_equal(got.utilization, base.utilization)
+            assert got.metrics == base.metrics
+
+    def test_worker_count_invariance(self):
+        cfg = _grid_config(
+            num_networks=8,
+            width_m=30.0,
+            height_m=30.0,
+            interference=InterferenceModel(radius_m=12.0),
+        )
+        one = FieldGrid(cfg, seed=2, shards=4, workers=1).run(SLOTS)
+        two = FieldGrid(cfg, seed=2, shards=4, workers=2).run(SLOTS)
+        assert np.array_equal(
+            one.goodput_pkts_per_slot, two.goodput_pkts_per_slot
+        )
+        assert one.metrics == two.metrics
+
+    def test_field_batch_invariance(self):
+        cfg = _grid_config(num_networks=4)
+        small = FieldGrid(cfg, seed=9, field_batch=1).run(SLOTS)
+        large = FieldGrid(cfg, seed=9, field_batch=256).run(SLOTS)
+        assert np.array_equal(
+            small.goodput_pkts_per_slot, large.goodput_pkts_per_slot
+        )
+
+    def test_keep_records_invariance(self):
+        cfg = _grid_config(num_networks=4)
+        lean = FieldGrid(cfg, seed=1).run(SLOTS)
+        full = FieldGrid(
+            dataclasses.replace(cfg, keep_records=True), seed=1
+        ).run(SLOTS)
+        assert lean.records is None
+        assert len(full.records) == 4
+        assert all(len(r) == SLOTS for r in full.records)
+        assert np.array_equal(
+            lean.goodput_pkts_per_slot, full.goodput_pkts_per_slot
+        )
+
+    def test_repeated_run_identical(self):
+        grid = FieldGrid(_grid_config(num_networks=3), seed=4)
+        first = grid.run(SLOTS)
+        second = grid.run(SLOTS)
+        assert np.array_equal(
+            first.goodput_pkts_per_slot, second.goodput_pkts_per_slot
+        )
+        assert first.metrics == second.metrics
+
+
+class TestInterference:
+    def test_interference_reduces_goodput(self):
+        # A dense field: everyone inside everyone's interference radius.
+        quiet = _grid_config(num_networks=8, width_m=10.0, height_m=10.0)
+        noisy = dataclasses.replace(
+            quiet, interference=InterferenceModel(radius_m=20.0)
+        )
+        clean = FieldGrid(quiet, seed=6).run(SLOTS)
+        contested = FieldGrid(noisy, seed=6).run(SLOTS)
+        assert contested.mean_goodput < clean.mean_goodput
+
+    def test_out_of_range_networks_unaffected(self):
+        # Interference with a tiny radius on a sparse field is a no-op.
+        sparse = _grid_config(num_networks=4, width_m=1000.0, height_m=1000.0)
+        wired = dataclasses.replace(
+            sparse, interference=InterferenceModel(radius_m=0.5)
+        )
+        assert np.array_equal(
+            FieldGrid(sparse, seed=8).run(SLOTS).goodput_pkts_per_slot,
+            FieldGrid(wired, seed=8).run(SLOTS).goodput_pkts_per_slot,
+        )
+
+
+class _DQNFactory:
+    """Picklable factory: every network shares one trained-ish agent."""
+
+    def __init__(self, agent):
+        self.agent = agent
+
+    def __call__(self, mdp, net_seed):
+        from repro.rng import derive
+
+        return DQNPolicyAdapter(
+            self.agent, mdp, seed=derive(net_seed, "grid-adapter")
+        )
+
+
+class TestDQNGrid:
+    def test_batched_greedy_matches_solo(self):
+        defaults = paper_defaults()
+        mdp = defaults.mdp
+        cfg = DQNConfig(
+            observation_size=15,  # the adapter's default 3 * 5 history
+            num_actions=mdp.num_channels * mdp.num_power_levels,
+            hidden_sizes=(16,),
+        )
+        factory = _DQNFactory(DQNAgent(cfg, seed=0))
+        grid_cfg = _grid_config(num_networks=3, adapter_factory=factory)
+        got = FieldGrid(grid_cfg, seed=13).run(SLOTS)
+        for i in range(3):
+            net = network_seed(13, i)
+            solo = FieldExperiment(
+                _field_config("aggregate"),
+                factory(mdp, net),
+                seed=net,
+            ).run_experiment(SLOTS)
+            assert got.goodput_pkts_per_slot[i] == solo.goodput_pkts_per_slot
+            assert got.metrics[i] == solo.metrics
