@@ -17,9 +17,15 @@ from repro.core.metrics import SlotLog, evaluate_policy
 from repro.core.policy import ThresholdPolicy, policy_from_solution_map
 from repro.core.solver import value_iteration
 from repro.core.mdp import AntiJammingMDP
-from repro.jamming.strategies import make_strategy
+from repro.jamming.strategies import make_strategy, strategy_options
 
 STRATEGIES = ("random", "sequential", "adaptive")
+
+
+def _strategy(name: str, num_blocks: int, seed: int):
+    # Sequential is deterministic and rejects a seed outright.
+    seeded = "seed" in strategy_options(name)
+    return make_strategy(name, num_blocks, seed=seed if seeded else None)
 
 
 def _uniform_victim_st(strategy_name: str, slots: int, seed: int) -> float:
@@ -30,7 +36,7 @@ def _uniform_victim_st(strategy_name: str, slots: int, seed: int) -> float:
     env = SweepJammingEnv(
         cfg,
         seed=seed,
-        sweep_strategy=make_strategy(strategy_name, cfg.sweep_cycle, seed=seed),
+        sweep_strategy=_strategy(strategy_name, cfg.sweep_cycle, seed),
     )
     return evaluate_policy(env, policy, slots=slots).success_rate
 
@@ -42,7 +48,7 @@ def _preferring_victim_st(strategy_name: str, slots: int, seed: int) -> float:
     env = SweepJammingEnv(
         cfg,
         seed=seed,
-        sweep_strategy=make_strategy(strategy_name, cfg.sweep_cycle, seed=seed),
+        sweep_strategy=_strategy(strategy_name, cfg.sweep_cycle, seed),
     )
     log = SlotLog()
     channels = (0, 8)

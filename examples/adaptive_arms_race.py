@@ -21,10 +21,16 @@ from repro.core.mdp import AntiJammingMDP, MDPConfig
 from repro.core.metrics import SlotLog
 from repro.core.policy import ThresholdPolicy, policy_from_solution_map
 from repro.core.solver import value_iteration
-from repro.jamming.strategies import make_strategy
+from repro.jamming.strategies import make_strategy, strategy_options
 from repro.net.energy import energy_of_run
 
 STRATEGIES = ("random", "sequential", "adaptive")
+
+
+def make_sweep(name: str, num_blocks: int, seed: int):
+    """Seed the randomised strategies; sequential rejects a seed."""
+    seeded = "seed" in strategy_options(name)
+    return make_strategy(name, num_blocks, seed=seed if seeded else None)
 
 
 def run_uniform_victim(strategy_name: str, slots: int, seed: int):
@@ -36,7 +42,7 @@ def run_uniform_victim(strategy_name: str, slots: int, seed: int):
     env = SweepJammingEnv(
         cfg,
         seed=seed,
-        sweep_strategy=make_strategy(strategy_name, cfg.sweep_cycle, seed=seed),
+        sweep_strategy=make_sweep(strategy_name, cfg.sweep_cycle, seed),
     )
     log = SlotLog(keep_history=True)
     for _ in range(slots):
@@ -52,7 +58,7 @@ def run_habitual_victim(strategy_name: str, slots: int, seed: int):
     env = SweepJammingEnv(
         cfg,
         seed=seed,
-        sweep_strategy=make_strategy(strategy_name, cfg.sweep_cycle, seed=seed),
+        sweep_strategy=make_sweep(strategy_name, cfg.sweep_cycle, seed),
     )
     log = SlotLog(keep_history=True)
     favourites = (2, 10)

@@ -33,7 +33,13 @@ from repro.net.goodput import GoodputModel
 from repro.net.network import StarNetwork
 from repro.net.timing import TimingModel
 from repro.rng import derive, stable_hash
+from repro.jamming.jammer import (
+    ADVERSARIES,
+    FollowerJammerConfig,
+    ReactiveJammerConfig,
+)
 from repro.sim.field import (
+    DeceptionAdapter,
     DQNPolicyAdapter,
     FieldConfig,
     FieldExperiment,
@@ -366,9 +372,13 @@ def train_fig11_agent(
 
 def _fig11a_task(spec: tuple) -> tuple[str, dict[str, float]]:
     """One Fig. 11(a) scheme — an independent field experiment."""
-    scheme, slots, seed, agent = spec
+    scheme, slots, seed, agent, sweep_strategy = spec
     defaults = paper_defaults()
-    jammer_cfg = field_jammer_config(defaults) if scheme != "nojx" else None
+    jammer_cfg = (
+        field_jammer_config(defaults, sweep_strategy=sweep_strategy)
+        if scheme != "nojx"
+        else None
+    )
     if scheme in ("psv", "rand"):
         name = {"psv": "PSV FH", "rand": "Rand FH"}[scheme]
         policy = scheme_policy(scheme, defaults.mdp, seed=derive(seed, f"pol-{scheme}"))
@@ -401,18 +411,22 @@ def fig11a_scheme_comparison(
     agent: DQNAgent | None = None,
     slots: int = 500,
     seed: int = 0,
+    sweep_strategy: str = "random",
 ) -> dict[str, dict[str, float]]:
     """Goodput of PSV FH / Rand FH / RL FH / no-jammer (Fig. 11(a)).
 
     When ``agent`` is None the RL scheme falls back to the exact MDP
     optimum (labelled ``RL FH (optimal)``); pass a trained agent to measure
-    the deployed DQN. The four schemes are independent experiments and run
-    through :class:`repro.exec.ParallelRunner` (``REPRO_WORKERS``).
+    the deployed DQN. ``sweep_strategy`` changes the jammer's search order
+    (the paper's jammer is ``"random"``). The four schemes are independent
+    experiments and run through :class:`repro.exec.ParallelRunner`
+    (``REPRO_WORKERS``).
     """
     schemes = ("psv", "rand", "rl" if agent is not None else "opt", "nojx")
     runner = ParallelRunner(name="fig11a_scheme_comparison.map")
     rows = runner.map(
-        _fig11a_task, [(scheme, slots, seed, agent) for scheme in schemes]
+        _fig11a_task,
+        [(scheme, slots, seed, agent, sweep_strategy) for scheme in schemes],
     )
     return dict(row for row in rows if not isinstance(row, TaskFailure))
 
@@ -428,6 +442,7 @@ def fig11b_jammer_timeslot(
     agent: DQNAgent | None = None,
     slots: int = 400,
     seed: int = 0,
+    sweep_strategy: str = "random",
 ) -> list[tuple[float, float]]:
     """(jammer slot duration, goodput) with the Tx slot fixed at 3 s.
 
@@ -438,16 +453,19 @@ def fig11b_jammer_timeslot(
     """
     runner = ParallelRunner(name="fig11b_jammer_timeslot.map")
     rows = runner.map(
-        _fig11b_task, [(float(d), slots, seed, agent) for d in durations]
+        _fig11b_task,
+        [(float(d), slots, seed, agent, sweep_strategy) for d in durations],
     )
     return [row for row in rows if not isinstance(row, TaskFailure)]
 
 
 def _fig11b_task(spec: tuple) -> tuple[float, float]:
     """One jammer-cadence point — an independent field experiment."""
-    d, slots, seed, agent = spec
+    d, slots, seed, agent, sweep_strategy = spec
     defaults = paper_defaults()
-    jammer_cfg = field_jammer_config(defaults, slot_duration_s=d)
+    jammer_cfg = field_jammer_config(
+        defaults, slot_duration_s=d, sweep_strategy=sweep_strategy
+    )
     cfg = FieldConfig(mdp=defaults.mdp, jammer=jammer_cfg)
     if agent is not None:
         adapter = DQNPolicyAdapter(agent, defaults.mdp, seed=derive(seed, f"ad11b-{d}"))
@@ -462,6 +480,140 @@ def _fig11b_task(spec: tuple) -> tuple[float, float]:
     exp = FieldExperiment(cfg, adapter, seed=derive(seed, f"fig11b-{d}"))
     res = exp.run_experiment(slots)
     return d, res.goodput_pkts_per_slot
+
+
+# ---------------------------------------------------------------------------
+# Adversary study: the fig11(a) scheme comparison against harder jammers
+# ---------------------------------------------------------------------------
+
+#: Defence schemes the adversary study compares (fig11(a) set + deception).
+ADV_STUDY_SCHEMES = ("psv", "rand", "opt", "deception")
+
+
+def study_reactive_config() -> ReactiveJammerConfig:
+    """The non-ideal reactive jammer the adversary study runs.
+
+    A constrained attacker — 70% duty cycle, 0.2 s turnaround, 75% chance
+    of falling for a decoy per sense — so the study shows the knobs doing
+    work. The *ideal* config (all defaults) is pinned separately by the
+    equivalence tests as bit-identical to the proactive jammer.
+    """
+    return ReactiveJammerConfig(
+        duty_cycle=0.7, response_latency_s=0.2, decoy_discrimination=0.25
+    )
+
+
+def study_follower_config() -> FollowerJammerConfig:
+    """The follower the adversary study runs: one decision slot of lag."""
+    return FollowerJammerConfig(lag_slots=1)
+
+
+def train_adversary_jammer(
+    *, pairs: int = 2, episodes: int = 8, steps_per_episode: int = 150,
+    seed: int = 0,
+):
+    """Self-play-train the learning jammer the adversary study deploys."""
+    from repro.core.selfplay import SelfPlayConfig, train_selfplay
+
+    defaults = paper_defaults()
+    result = train_selfplay(
+        SelfPlayConfig(
+            env=defaults.mdp,
+            pairs=pairs,
+            episodes=episodes,
+            steps_per_episode=steps_per_episode,
+        ),
+        seed=derive(seed, "adv-selfplay"),
+    )
+    return result.best_jammer
+
+
+def _adv_task(spec: tuple) -> tuple[tuple[str, str], dict[str, float]]:
+    """One (adversary, scheme) cell — an independent field experiment."""
+    adversary, scheme, slots, seed, jammer_agent, sweep_strategy = spec
+    defaults = paper_defaults()
+    jammer_cfg = field_jammer_config(
+        defaults,
+        adversary=adversary,
+        sweep_strategy=sweep_strategy,
+        reactive=study_reactive_config() if adversary == "reactive" else None,
+        follower=study_follower_config() if adversary == "follower" else None,
+        learning_agent=jammer_agent if adversary == "learning" else None,
+    )
+    if scheme in ("psv", "rand"):
+        policy = scheme_policy(
+            scheme, defaults.mdp, seed=derive(seed, f"pol-{adversary}-{scheme}")
+        )
+    else:  # opt / deception both run the exact optimum underneath
+        policy = scheme_policy("optimal", defaults.mdp)
+    adapter = StatePolicyAdapter(
+        policy, defaults.mdp, seed=derive(seed, f"ad-{adversary}-{scheme}")
+    )
+    if scheme == "deception":
+        adapter = DeceptionAdapter(
+            adapter,
+            defaults.mdp,
+            jam_width=defaults.mdp.jam_width,
+            seed=derive(seed, f"decoy-{adversary}"),
+        )
+    cfg = FieldConfig(mdp=defaults.mdp, jammer=jammer_cfg)
+    exp = FieldExperiment(cfg, adapter, seed=derive(seed, f"adv-{adversary}-{scheme}"))
+    res = exp.run_experiment(slots)
+    return (adversary, scheme), {
+        "goodput": res.goodput_pkts_per_slot,
+        "success_rate": res.metrics.success_rate,
+        "utilization": res.utilization,
+    }
+
+
+def adversary_scheme_comparison(
+    *,
+    adversaries: tuple[str, ...] = ADVERSARIES,
+    schemes: tuple[str, ...] = ADV_STUDY_SCHEMES,
+    slots: int = 300,
+    seed: int = 0,
+    jammer_agent=None,
+    selfplay_episodes: int = 8,
+    sweep_strategy: str = "random",
+) -> dict[str, dict[str, dict[str, float]]]:
+    """Every defence scheme against every adversary (fig11(a) extended).
+
+    Returns ``{adversary: {scheme: {goodput, success_rate, utilization}}}``.
+    The learning adversary deploys ``jammer_agent`` if given, else
+    self-play-trains one (``selfplay_episodes`` bounds the budget). Cells
+    are independent experiments dispatched through
+    :class:`repro.exec.ParallelRunner` (``REPRO_WORKERS``).
+    """
+    for adversary in adversaries:
+        if adversary not in ADVERSARIES:
+            raise ConfigurationError(
+                f"unknown adversary {adversary!r}; expected one of {ADVERSARIES}"
+            )
+    for scheme in schemes:
+        if scheme not in ADV_STUDY_SCHEMES:
+            raise ConfigurationError(
+                f"unknown scheme {scheme!r}; expected one of {ADV_STUDY_SCHEMES}"
+            )
+    if "learning" in adversaries and jammer_agent is None:
+        jammer_agent = train_adversary_jammer(
+            episodes=selfplay_episodes, seed=seed
+        )
+    runner = ParallelRunner(name="adversary_scheme_comparison.map")
+    cells = runner.map(
+        _adv_task,
+        [
+            (adversary, scheme, slots, seed, jammer_agent, sweep_strategy)
+            for adversary in adversaries
+            for scheme in schemes
+        ],
+    )
+    out: dict[str, dict[str, dict[str, float]]] = {}
+    for cell in cells:
+        if isinstance(cell, TaskFailure):
+            continue
+        (adversary, scheme), metrics = cell
+        out.setdefault(adversary, {})[scheme] = metrics
+    return out
 
 
 __all__ = [
@@ -485,4 +637,9 @@ __all__ = [
     "train_fig11_agent",
     "fig11a_scheme_comparison",
     "fig11b_jammer_timeslot",
+    "ADV_STUDY_SCHEMES",
+    "study_reactive_config",
+    "study_follower_config",
+    "train_adversary_jammer",
+    "adversary_scheme_comparison",
 ]

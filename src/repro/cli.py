@@ -9,6 +9,7 @@ Commands
 ``obs``          Summarise a ``RUN_<name>.jsonl`` observability trace.
 ``bench``        Compare a ``BENCH_<name>.json`` artifact against a baseline.
 ``field-scale``  Scale the sharded multi-network field grid, print slots/sec.
+``selfplay``     Train the learning jammer DQN-vs-DQN and print the curves.
 
 Results (tables, figures, emulation output) go to stdout; status chatter
 goes through the :mod:`repro.obs.log` structured logger on stderr and can
@@ -47,6 +48,8 @@ from repro.exec import (
     resolve_workers,
 )
 from repro.exec import timing
+from repro.jamming.jammer import ADVERSARIES
+from repro.jamming.strategies import STRATEGY_NAMES
 from repro.nn.serialize import artifact_size_bytes, parameter_count, save_parameters
 from repro.obs import log as obs_log
 from repro.obs import trace as obs_trace
@@ -56,6 +59,26 @@ from repro.sim.scenario import SCHEMES
 from repro.sim.shard import SHARDS_ENV
 
 log = obs_log.get_logger("cli")
+
+#: Default adversary set for ``repro figure adv`` (comma list, e.g.
+#: ``reactive,follower``); the ``--adversaries`` flag overrides it.
+ADVERSARIES_ENV = "REPRO_ADVERSARIES"
+
+
+def _resolve_adversaries(flag: str | None) -> tuple[str, ...]:
+    """``--adversaries``/``REPRO_ADVERSARIES`` comma list -> validated tuple."""
+    raw = flag if flag is not None else os.environ.get(ADVERSARIES_ENV)
+    if raw is None:
+        return ADVERSARIES
+    names = tuple(n.strip() for n in raw.split(",") if n.strip())
+    if not names:
+        raise ReproError("--adversaries needs at least one adversary name")
+    unknown = [n for n in names if n not in ADVERSARIES]
+    if unknown:
+        raise ReproError(
+            f"unknown adversaries {unknown}; expected names from {ADVERSARIES}"
+        )
+    return names
 
 
 def _add_fault_args(parser: argparse.ArgumentParser) -> None:
@@ -326,7 +349,10 @@ def cmd_figure(args: argparse.Namespace) -> int:
             log.info("training the RL FH agent (this takes a minute)")
             agent = figures_mod.train_fig11_agent(seed=args.seed)
         results = figures_mod.fig11a_scheme_comparison(
-            agent=agent, slots=args.slots, seed=args.seed
+            agent=agent,
+            slots=args.slots,
+            seed=args.seed,
+            sweep_strategy=args.sweep_strategy,
         )
         rows = [
             [name_, vals["goodput"], vals["success_rate"], vals["utilization"]]
@@ -340,7 +366,9 @@ def cmd_figure(args: argparse.Namespace) -> int:
             )
         )
     elif name == "11b":
-        rows = figures_mod.fig11b_jammer_timeslot(slots=args.slots, seed=args.seed)
+        rows = figures_mod.fig11b_jammer_timeslot(
+            slots=args.slots, seed=args.seed, sweep_strategy=args.sweep_strategy
+        )
         print(
             render_table(
                 ["Jx slot (s)", "goodput (pkts/slot)"],
@@ -348,6 +376,57 @@ def cmd_figure(args: argparse.Namespace) -> int:
                 title="Fig. 11(b): goodput vs jammer slot duration (Tx slot 3 s)",
             )
         )
+    elif name == "adv":
+        adversaries = _resolve_adversaries(args.adversaries)
+        if "learning" in adversaries:
+            log.info(
+                "training the learning jammer via self-play",
+                episodes=args.selfplay_episodes,
+            )
+        results = figures_mod.adversary_scheme_comparison(
+            adversaries=adversaries,
+            slots=args.slots,
+            seed=args.seed,
+            selfplay_episodes=args.selfplay_episodes,
+            sweep_strategy=args.sweep_strategy,
+        )
+        rows = [
+            [
+                adversary,
+                scheme,
+                vals["goodput"],
+                vals["success_rate"],
+                vals["utilization"],
+            ]
+            for adversary, per_scheme in results.items()
+            for scheme, vals in per_scheme.items()
+        ]
+        print(
+            render_table(
+                ["adversary", "scheme", "goodput (pkts/slot)", "S_T", "utilization"],
+                rows,
+                title="Adversary suite: scheme comparison (fig 11(a) protocol)",
+            )
+        )
+        if args.out:
+            out_path = Path(args.out)
+            out_path.parent.mkdir(parents=True, exist_ok=True)
+            out_path.write_text(
+                json.dumps(
+                    {
+                        "figure": "adv",
+                        "slots": args.slots,
+                        "seed": args.seed,
+                        "sweep_strategy": args.sweep_strategy,
+                        "selfplay_episodes": args.selfplay_episodes,
+                        "results": results,
+                    },
+                    indent=2,
+                    sort_keys=True,
+                )
+                + "\n"
+            )
+            log.info("wrote comparison artifact", path=str(out_path))
     else:
         raise ReproError(f"unknown figure {name!r}")
     return 0
@@ -411,7 +490,7 @@ def cmd_field_scale(args: argparse.Namespace) -> int:
     defaults = paper_defaults()
     field_cfg = FieldConfig(
         mdp=defaults.mdp,
-        jammer=field_jammer_config(defaults),
+        jammer=field_jammer_config(defaults, sweep_strategy=args.sweep_strategy),
         sampling=args.sampling,
     )
     interference = (
@@ -531,6 +610,69 @@ def cmd_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_selfplay(args: argparse.Namespace) -> int:
+    """``repro selfplay``: train the learning jammer DQN-vs-DQN.
+
+    Trains ``--pairs`` victim/jammer couples in lock-step, prints the
+    per-pair learning curves, and optionally saves the best jammer's
+    parameters for later deployment.
+    """
+    from repro.core.selfplay import SelfPlayConfig, train_selfplay
+
+    _apply_exec_options(args)
+    config = SelfPlayConfig(
+        pairs=args.pairs,
+        episodes=args.episodes,
+        steps_per_episode=args.steps,
+    )
+    log.info(
+        "training self-play populations",
+        pairs=config.pairs,
+        episodes=config.episodes,
+        steps_per_episode=config.steps_per_episode,
+        seed=args.seed,
+    )
+    result = train_selfplay(config, seed=args.seed)
+    tail = max(1, config.episodes // 4)
+    rows = []
+    for i in range(config.pairs):
+        rows.append(
+            [
+                i,
+                f"{result.jam_rates[i, 0]:.3f}",
+                f"{result.jam_rates[i, -tail:].mean():.3f}",
+                f"{result.victim_returns[i, -tail:].mean():.1f}",
+                f"{result.jammer_returns[i, -tail:].mean():.1f}",
+                "best" if i == result.best_pair else "",
+            ]
+        )
+    print(
+        render_table(
+            [
+                "pair",
+                "jam rate ep0",
+                "jam rate tail",
+                "victim return",
+                "jammer return",
+                "",
+            ],
+            rows,
+            title=f"self-play ({config.pairs} pairs x {config.episodes} "
+            f"episodes x {config.steps_per_episode} slots)",
+        )
+    )
+    if args.save:
+        net = result.best_jammer.network()
+        save_parameters(net, args.save)
+        log.info(
+            "saved best jammer artifact",
+            path=args.save,
+            pair=result.best_pair,
+            parameters=parameter_count(net),
+        )
+    return 0
+
+
 def cmd_obs(args: argparse.Namespace) -> int:
     # Imported lazily: the summary renderer is only needed by this command.
     from repro.obs.summary import render_summary
@@ -589,10 +731,47 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("figure", help="regenerate a paper figure")
     p.add_argument(
         "name",
-        choices=["2b", "2b-wf", "6", "7", "8", "9a", "9b", "10", "11a", "11b"],
+        choices=[
+            "2b",
+            "2b-wf",
+            "6",
+            "7",
+            "8",
+            "9a",
+            "9b",
+            "10",
+            "11a",
+            "11b",
+            "adv",
+        ],
     )
     p.add_argument("--slots", type=int, default=5000)
     p.add_argument("--seed", type=int, default=0)
+    p.add_argument(
+        "--sweep-strategy",
+        choices=STRATEGY_NAMES,
+        default="random",
+        help="sweep jammer search order for figures 11a/11b/adv "
+        "(the paper's jammer sweeps in 'random' order)",
+    )
+    p.add_argument(
+        "--adversaries",
+        default=None,
+        help="comma list of adversaries for figure adv (overrides "
+        f"{ADVERSARIES_ENV}; default all of {','.join(ADVERSARIES)})",
+    )
+    p.add_argument(
+        "--selfplay-episodes",
+        type=int,
+        default=8,
+        help="self-play training episodes for the learning adversary in "
+        "figure adv (only used when 'learning' is requested)",
+    )
+    p.add_argument(
+        "--out",
+        default=None,
+        help="write the figure-adv comparison results as a JSON artifact",
+    )
     p.add_argument(
         "--trials",
         type=int,
@@ -662,6 +841,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="data-phase pricing: 'aggregate' batches thousands of networks "
         "per slot, 'packet' is the paper's exact per-packet loop",
     )
+    p.add_argument(
+        "--sweep-strategy",
+        choices=STRATEGY_NAMES,
+        default="random",
+        help="sweep jammer search order (default 'random', the paper's)",
+    )
     p.add_argument("--width", type=float, default=100.0, help="field width, m")
     p.add_argument("--height", type=float, default=100.0, help="field height, m")
     p.add_argument(
@@ -692,6 +877,19 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_fault_args(p)
     p.set_defaults(func=cmd_field_scale)
+
+    p = sub.add_parser(
+        "selfplay",
+        help="train the learning jammer DQN-vs-DQN and print learning curves",
+    )
+    p.add_argument("--pairs", type=int, default=4)
+    p.add_argument("--episodes", type=int, default=30)
+    p.add_argument("--steps", type=int, default=200, help="slots per episode")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument(
+        "--save", help="path for the best jammer's .npz parameter artifact"
+    )
+    p.set_defaults(func=cmd_selfplay)
 
     p = sub.add_parser(
         "bench", help="compare a BENCH_<name>.json against a committed baseline"

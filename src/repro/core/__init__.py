@@ -31,6 +31,12 @@ from repro.core.policy import (
     policy_from_solution_map,
 )
 from repro.core.replay import Batch, ReplayBuffer
+from repro.core.selfplay import (
+    SelfPlayConfig,
+    SelfPlayEnv,
+    SelfPlayResult,
+    train_selfplay,
+)
 from repro.core.solver import (
     Solution,
     bellman_residual,
@@ -81,6 +87,10 @@ __all__ = [
     "TabularQLearning",
     "Batch",
     "ReplayBuffer",
+    "SelfPlayConfig",
+    "SelfPlayEnv",
+    "SelfPlayResult",
+    "train_selfplay",
     "Solution",
     "bellman_residual",
     "hop_q_profile",

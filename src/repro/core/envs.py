@@ -16,6 +16,7 @@ Two implementations of the victim/jammer competition:
 
 from __future__ import annotations
 
+import copy
 from dataclasses import dataclass
 
 import numpy as np
@@ -184,15 +185,31 @@ class SweepJammingEnv:
         history_length: int = DEFAULT_HISTORY_LENGTH,
         seed: SeedLike = None,
         sweep_strategy=None,
+        jammer_factory=None,
     ) -> None:
         self.config = config or MDPConfig()
         if history_length < 1:
             raise ConfigurationError("history length must be >= 1")
+        if sweep_strategy is not None and jammer_factory is not None:
+            raise ConfigurationError(
+                "pass either sweep_strategy or jammer_factory, not both "
+                "(a custom jammer owns its own strategy)"
+            )
         self.history_length = history_length
         self._rng = make_rng(seed)
+        # Kept pristine as a template: every seeded reset deep-copies it so
+        # two reset(seed=k) calls start from identical strategy state.
         self._sweep_strategy = sweep_strategy
-        self._jammer = _SweepingJammer(self.config, self._rng, sweep_strategy)
+        self._jammer_factory = jammer_factory
+        self._jammer = self._build_jammer()
         self.reset()
+
+    def _build_jammer(self) -> _SweepingJammer:
+        if self._jammer_factory is not None:
+            return self._jammer_factory(self.config, self._rng)
+        return _SweepingJammer(
+            self.config, self._rng, copy.deepcopy(self._sweep_strategy)
+        )
 
     # -- space geometry --------------------------------------------------------
 
@@ -221,9 +238,7 @@ class SweepJammingEnv:
     def reset(self, *, seed: SeedLike = None) -> np.ndarray:
         if seed is not None:
             self._rng = make_rng(seed)
-            self._jammer = _SweepingJammer(
-                self.config, self._rng, self._sweep_strategy
-            )
+            self._jammer = self._build_jammer()
         else:
             self._jammer.reset()
         self.channel = int(self._rng.integers(self.config.num_channels))

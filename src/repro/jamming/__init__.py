@@ -8,16 +8,40 @@ abstraction used for DQN training lives in :mod:`repro.core.envs`.
 :mod:`repro.jamming.detector` models how the jammer finds its victim
 (energy sensing, ACK eavesdropping) and how hard the EmuBee signal is for
 the victim to recognise as jamming (stealthiness).
+
+:mod:`repro.jamming.adversary` goes beyond the paper's threat model with
+reactive, follower, and learning jammers for both timing models.
 """
 
+from repro.jamming.adversary import (
+    FollowerFieldJammer,
+    FollowerSlotJammer,
+    JammerMemory,
+    LearningFieldJammer,
+    LearningSlotJammer,
+    ReactiveFieldJammer,
+    ReactiveSlotJammer,
+    make_field_jammer,
+    make_slot_jammer_factory,
+)
 from repro.jamming.detector import AckEavesdropper, EnergyDetector, StealthReport, stealth_assessment
-from repro.jamming.jammer import AttackProfile, FieldJammer, FieldJammerConfig
+from repro.jamming.jammer import (
+    ADVERSARIES,
+    AttackProfile,
+    FieldJammer,
+    FieldJammerConfig,
+    FollowerJammerConfig,
+    ReactiveJammerConfig,
+    channel_blocks,
+)
 from repro.jamming.strategies import (
+    STRATEGY_NAMES,
     AdaptiveSweep,
     RandomSweep,
     SequentialSweep,
     SweepStrategy,
     make_strategy,
+    strategy_options,
 )
 
 __all__ = [
@@ -25,12 +49,27 @@ __all__ = [
     "EnergyDetector",
     "StealthReport",
     "stealth_assessment",
+    "ADVERSARIES",
     "AttackProfile",
     "FieldJammer",
     "FieldJammerConfig",
+    "FollowerJammerConfig",
+    "ReactiveJammerConfig",
+    "channel_blocks",
+    "JammerMemory",
+    "ReactiveFieldJammer",
+    "FollowerFieldJammer",
+    "LearningFieldJammer",
+    "make_field_jammer",
+    "ReactiveSlotJammer",
+    "FollowerSlotJammer",
+    "LearningSlotJammer",
+    "make_slot_jammer_factory",
     "AdaptiveSweep",
     "RandomSweep",
     "SequentialSweep",
     "SweepStrategy",
+    "STRATEGY_NAMES",
+    "strategy_options",
     "make_strategy",
 ]

@@ -1,0 +1,563 @@
+"""The adversarial jammer suite — harder attackers than the paper's.
+
+The paper's threat model is a proactive sweep/camp jammer. Related work
+(reactive jammers with a sense→classify→transmit budget, follower jammers
+against FHSS, learning jammers, and deception defences that bait them)
+motivates four further adversaries, each available in *both* timing
+models the repo simulates:
+
+==============  =============================  ==============================
+adversary       slot-aligned (``core.envs``)   time-domain (``sim.field``)
+==============  =============================  ==============================
+``sweep``       ``_SweepingJammer`` (paper)    :class:`~repro.jamming.jammer.FieldJammer`
+``reactive``    :class:`ReactiveSlotJammer`    :class:`ReactiveFieldJammer`
+``follower``    :class:`FollowerSlotJammer`    :class:`FollowerFieldJammer`
+``learning``    :class:`LearningSlotJammer`    :class:`LearningFieldJammer`
+==============  =============================  ==============================
+
+:func:`make_field_jammer` dispatches on
+:attr:`~repro.jamming.jammer.FieldJammerConfig.adversary`, which is how
+the field experiment, the sharded grid engine, and the CLI sweeps select
+an adversary; :func:`make_slot_jammer_factory` does the same for
+:class:`~repro.core.envs.SweepJammingEnv`.
+
+An *ideal* reactive jammer (perfect detection, zero latency, unbounded
+duty cycle — the :class:`~repro.jamming.jammer.ReactiveJammerConfig`
+defaults) consumes the same rng draws and makes the same decisions as the
+proactive jammer, so its episode traces are bit-for-bit identical — the
+equivalence the test suite pins. Every non-default knob changes it in a
+measurable, documented way.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+import numpy as np
+
+from repro.constants import DEFAULT_HISTORY_LENGTH
+from repro.core.envs import _SweepingJammer
+from repro.core.mdp import MDPConfig
+from repro.errors import ConfigurationError
+from repro.jamming.detector import AckEavesdropper, EnergyDetector
+from repro.jamming.jammer import (
+    FieldJammer,
+    FieldJammerConfig,
+    FollowerJammerConfig,
+    ReactiveJammerConfig,
+    block_index,
+)
+from repro.rng import SeedLike, derive, make_rng
+
+
+class JammerMemory:
+    """The learning jammer's observation history — its side of the 3·I story.
+
+    Per slot the jammer records ``(outcome, block, streak)``: whether its
+    burst found the victim, which block it jammed (normalised), and how
+    long the current contact streak has lasted (normalised by the block
+    count). This is information a real jammer can obtain from its own
+    energy sensing — it never sees the victim's internal state.
+    """
+
+    def __init__(
+        self, num_blocks: int, history_length: int = DEFAULT_HISTORY_LENGTH
+    ) -> None:
+        if num_blocks < 1 or history_length < 1:
+            raise ConfigurationError("need at least one block and history slot")
+        self.num_blocks = num_blocks
+        self.history_length = history_length
+        self.reset()
+
+    def reset(self) -> None:
+        self._streak = 0
+        self._history: list[tuple[float, float, float]] = [
+            (0.0, 0.0, 0.0)
+        ] * self.history_length
+
+    def update(self, *, hit: bool, block: int) -> None:
+        self._streak = self._streak + 1 if hit else 0
+        self._history.pop(0)
+        self._history.append(
+            (
+                1.0 if hit else 0.0,
+                block / max(self.num_blocks - 1, 1),
+                min(self._streak, self.num_blocks) / self.num_blocks,
+            )
+        )
+
+    def observation(self) -> np.ndarray:
+        return np.array(self._history, dtype=np.float64).reshape(-1)
+
+    @property
+    def observation_size(self) -> int:
+        return 3 * self.history_length
+
+
+def _check_learning_agent(agent, num_blocks: int, history_length: int) -> None:
+    if agent is None:
+        raise ConfigurationError(
+            "the learning adversary needs a trained jammer agent "
+            "(train one with repro.core.selfplay.train_selfplay)"
+        )
+    if agent.config.observation_size != 3 * history_length:
+        raise ConfigurationError(
+            f"jammer agent expects {agent.config.observation_size} inputs; "
+            f"history length {history_length} provides {3 * history_length}"
+        )
+    if agent.config.num_actions != num_blocks:
+        raise ConfigurationError(
+            f"jammer agent has {agent.config.num_actions} outputs; geometry "
+            f"has {num_blocks} blocks"
+        )
+
+
+# ---------------------------------------------------------------------------
+# Time-domain adversaries (the FieldJammer clock)
+# ---------------------------------------------------------------------------
+
+
+class ReactiveFieldJammer(FieldJammer):
+    """Sense→classify→transmit jammer on the field clock.
+
+    Each decision starts with a sensing pass over one block (the camped
+    block, or the next sweep pick). A classified target is attacked after
+    ``response_latency_s`` of turnaround, for as long as the duty-cycle
+    token bucket allows. Decoy transmissions
+    (:class:`~repro.sim.field.DeceptionAdapter`) read as victims unless
+    unmasked, baiting the jammer into camping on — and burning duty
+    against — an empty block. Configured by
+    :class:`~repro.jamming.jammer.ReactiveJammerConfig` (``config.reactive``).
+    """
+
+    def __init__(
+        self,
+        config: FieldJammerConfig | None = None,
+        *,
+        seed: SeedLike = None,
+        strategy=None,
+    ) -> None:
+        cfg = config or FieldJammerConfig()
+        self._rc = cfg.reactive or ReactiveJammerConfig()
+        self._detector = EnergyDetector(self._rc.sensitivity_dbm)
+        super().__init__(cfg, seed=seed, strategy=strategy)
+
+    def reset(self) -> None:
+        super().reset()
+        rc = self._rc
+        # Token bucket: one jammer slot of burst capacity, refilled at
+        # ``duty_cycle`` seconds of TX per second of wall time.
+        self._budget_cap = self.config.slot_duration_s
+        self._budget = self._budget_cap
+        self._budget_mark = 0.0
+        self._tip: int | None = None
+        self._decoy: int | None = None
+        self._camped_decoy = False
+        # Lazily created so the ideal configuration consumes no extra
+        # draws from the shared stream (bit-for-bit with FieldJammer).
+        self._sense_rng: np.random.Generator | None = None
+        self._eavesdropper: AckEavesdropper | None = None
+
+    def observe_decoy(self, channel: int | None) -> None:
+        if channel is not None and not 0 <= channel < self.config.num_channels:
+            raise ConfigurationError(f"decoy channel {channel} out of range")
+        self._decoy = channel
+
+    # -- sensing ---------------------------------------------------------------
+
+    def _sense(self) -> np.random.Generator:
+        if self._sense_rng is None:
+            self._sense_rng = make_rng(int(self._rng.integers(2**63 - 1)))
+        return self._sense_rng
+
+    def _detects(self, victim_channel: int, block: tuple[int, ...]) -> bool:
+        """Whether the sensing pass classifies the victim inside ``block``."""
+        if victim_channel not in block:
+            return False
+        if not self._detector.detects(self._rc.victim_rx_dbm):
+            return False
+        if self._rc.detection_probability >= 1.0:
+            return True
+        return self._sense().random() < self._rc.detection_probability
+
+    def _lured(self, block: tuple[int, ...]) -> bool:
+        """Whether a decoy in ``block`` passes for a victim this sense."""
+        if self._decoy is None or self._decoy not in block:
+            return False
+        if self._rc.decoy_discrimination <= 0.0:
+            return True
+        return self._sense().random() >= self._rc.decoy_discrimination
+
+    def _overhears_escape(self, victim_channel: int) -> None:
+        """ACK/negotiation sniffing on escape: maybe learn the new block."""
+        if self._rc.eavesdrop_probability <= 0.0:
+            return
+        if self._eavesdropper is None:
+            self._eavesdropper = AckEavesdropper(
+                self._rc.eavesdrop_probability,
+                seed=derive(self._sense(), "reactive-eavesdrop"),
+            )
+        if self._eavesdropper.observe(True) is not None:
+            self._tip = self.block_of(victim_channel)
+
+    # -- decisions -------------------------------------------------------------
+
+    def _transmit(self, t: float, block: tuple[int, ...]) -> None:
+        rc = self._rc
+        if rc.duty_cycle < 1.0:
+            self._budget = min(
+                self._budget_cap,
+                self._budget + (t - self._budget_mark) * rc.duty_cycle,
+            )
+            self._budget_mark = t
+            cost = max(self.config.slot_duration_s - rc.response_latency_s, 0.0)
+            if self._budget + 1e-12 < cost:
+                self._idle(t)  # budget exhausted: sit this decision out
+                return
+            self._budget -= cost
+        self._active_block = block
+        self._active_power = self._power()
+        self._active_from = t + rc.response_latency_s
+
+    def _decide(self, t: float, victim_channel: int) -> None:
+        rc = self._rc
+        if self._camping is not None:
+            block = self.blocks[self._camping]
+            if self._detects(victim_channel, block) or (
+                self._camped_decoy and self._lured(block)
+            ):
+                self._transmit(t, block)
+                return
+            # The camped signal vanished (victim hopped / decoy unmasked):
+            # burn this decision noticing, maybe sniff where it went.
+            stale = self._camping
+            self._camping = None
+            self._camped_decoy = False
+            self.strategy.notify_lost(stale)
+            self._idle(t)
+            self._overhears_escape(victim_channel)
+            return
+        if self._tip is not None:
+            pick, self._tip = self._tip, None
+        else:
+            pick = self.strategy.next_block()
+        block = self.blocks[pick]
+        detected = self._detects(victim_channel, block)
+        lured = False if detected else self._lured(block)
+        if detected or lured:
+            self._camping = pick
+            self._camped_decoy = lured
+            self.strategy.notify_found(pick)
+            self._transmit(t, block)
+        elif rc.transmit_on_sweep:
+            self._transmit(t, block)
+        else:
+            self._idle(t)
+
+
+class FollowerFieldJammer(FieldJammer):
+    """Chases the victim's hops with a configurable processing lag.
+
+    Wideband-senses the victim's channel every jammer slot and attacks the
+    block it occupied ``lag_slots`` decisions ago — the measurement →
+    retune pipeline delay of follower jammers against FHSS. Idles until
+    the trail is deep enough (or the victim is inaudible). Configured by
+    :class:`~repro.jamming.jammer.FollowerJammerConfig` (``config.follower``).
+    """
+
+    def __init__(
+        self,
+        config: FieldJammerConfig | None = None,
+        *,
+        seed: SeedLike = None,
+        strategy=None,
+    ) -> None:
+        cfg = config or FieldJammerConfig()
+        self._fc = cfg.follower or FollowerJammerConfig()
+        self._detector = EnergyDetector(self._fc.sensitivity_dbm)
+        super().__init__(cfg, seed=seed, strategy=strategy)
+
+    def reset(self) -> None:
+        super().reset()
+        self._trail: deque[int] = deque(maxlen=self._fc.lag_slots + 1)
+
+    def _decide(self, t: float, victim_channel: int) -> None:
+        fc = self._fc
+        heard = self._detector.detects(fc.victim_rx_dbm)
+        self._trail.append(victim_channel if heard else -1)
+        if len(self._trail) <= fc.lag_slots:
+            self._idle(t)
+            return
+        target = self._trail[0]
+        if target < 0:
+            self._idle(t)
+            return
+        self._active_block = self.blocks[self.block_of(target)]
+        self._active_power = self._power()
+        self._active_from = t
+
+
+class LearningFieldJammer(FieldJammer):
+    """Deploys a self-play-trained jammer DQN greedily on the field clock.
+
+    Per decision it appends the previous burst's outcome to its
+    :class:`JammerMemory`, runs one greedy forward pass, and jams the
+    chosen block. Greedy action selection consumes no rng, so deployment
+    stays deterministic under the jammer seed.
+    """
+
+    def __init__(
+        self,
+        config: FieldJammerConfig | None = None,
+        *,
+        seed: SeedLike = None,
+        strategy=None,
+        history_length: int = DEFAULT_HISTORY_LENGTH,
+    ) -> None:
+        cfg = config or FieldJammerConfig()
+        _check_learning_agent(cfg.learning_agent, cfg.num_blocks, history_length)
+        self._agent = cfg.learning_agent
+        self._memory = JammerMemory(cfg.num_blocks, history_length)
+        super().__init__(cfg, seed=seed, strategy=strategy)
+
+    def reset(self) -> None:
+        super().reset()
+        self._memory.reset()
+
+    def _decide(self, t: float, victim_channel: int) -> None:
+        action = int(self._agent.act(self._memory.observation(), greedy=True))
+        block = self.blocks[action]
+        hit = victim_channel in block
+        self._memory.update(hit=hit, block=action)
+        self._active_block = block
+        self._active_power = self._power()
+        self._active_from = t
+
+
+def make_field_jammer(
+    config: FieldJammerConfig, *, seed: SeedLike = None, strategy=None
+) -> FieldJammer:
+    """Build the time-domain jammer ``config.adversary`` selects."""
+    if config.adversary == "sweep":
+        return FieldJammer(config, seed=seed, strategy=strategy)
+    if config.adversary == "reactive":
+        return ReactiveFieldJammer(config, seed=seed, strategy=strategy)
+    if config.adversary == "follower":
+        return FollowerFieldJammer(config, seed=seed, strategy=strategy)
+    if config.adversary == "learning":
+        return LearningFieldJammer(config, seed=seed, strategy=strategy)
+    raise ConfigurationError(f"unknown adversary {config.adversary!r}")
+
+
+# ---------------------------------------------------------------------------
+# Slot-aligned adversaries (SweepJammingEnv)
+# ---------------------------------------------------------------------------
+
+
+class ReactiveSlotJammer(_SweepingJammer):
+    """Slot-aligned reactive jammer for :class:`~repro.core.envs.SweepJammingEnv`.
+
+    Same sensing/camping logic as :class:`ReactiveFieldJammer`, quantised
+    to victim slots: the duty-cycle token bucket accrues per slot, and a
+    burst only counts as an attack when the post-latency transmission
+    still covers at least half the slot (``slot_duration_s`` converts the
+    time-domain latency knob).
+    """
+
+    def __init__(
+        self,
+        config: MDPConfig,
+        rng: np.random.Generator,
+        strategy=None,
+        *,
+        reactive: ReactiveJammerConfig | None = None,
+        slot_duration_s: float = 3.0,
+    ) -> None:
+        if slot_duration_s <= 0:
+            raise ConfigurationError("slot duration must be positive")
+        self._rc = reactive or ReactiveJammerConfig()
+        self._slot_s = slot_duration_s
+        self._detector = EnergyDetector(self._rc.sensitivity_dbm)
+        # Transmissions land as slot attacks only when the post-latency
+        # burst covers at least half the slot (the field engine's
+        # jam_state_threshold, collapsed to the binary slot world).
+        self._effective = self._rc.response_latency_s < 0.5 * slot_duration_s
+        super().__init__(config, rng, strategy)
+
+    def reset(self) -> None:
+        super().reset()
+        self._budget = 1.0  # slots of burst capacity
+        self._tip: int | None = None
+        self._decoy: int | None = None
+        self._camped_decoy = False
+        self._sense_rng: np.random.Generator | None = None
+        self._eavesdropper: AckEavesdropper | None = None
+
+    def block_of(self, channel: int) -> int:
+        return block_index(self.blocks, channel)
+
+    def observe_decoy(self, channel: int | None) -> None:
+        self._decoy = channel
+
+    _sense = ReactiveFieldJammer._sense
+    _detects = ReactiveFieldJammer._detects
+    _lured = ReactiveFieldJammer._lured
+    _overhears_escape = ReactiveFieldJammer._overhears_escape
+
+    def _burst(
+        self, victim_channel: int, block: tuple[int, ...]
+    ) -> tuple[bool, float, tuple[int, ...]]:
+        """Transmit on ``block`` for this slot if latency/duty allow."""
+        if not self._effective:
+            return False, 0.0, ()
+        if self._rc.duty_cycle < 1.0:
+            if self._budget + 1e-12 < 1.0:
+                return False, 0.0, ()
+            self._budget -= 1.0
+        hit = victim_channel in block
+        return (hit, self._power() if hit else 0.0, block)
+
+    def observe_and_attack(
+        self, victim_channel: int
+    ) -> tuple[bool, float, tuple[int, ...]]:
+        rc = self._rc
+        if rc.duty_cycle < 1.0:
+            self._budget = min(1.0, self._budget + rc.duty_cycle)
+        if self._camping is not None:
+            block = self.blocks[self._camping]
+            if self._detects(victim_channel, block) or (
+                self._camped_decoy and self._lured(block)
+            ):
+                return self._burst(victim_channel, block)
+            stale = self._camping
+            self._camping = None
+            self._camped_decoy = False
+            self.strategy.notify_lost(stale)
+            self._overhears_escape(victim_channel)
+            return False, 0.0, ()
+        if self._tip is not None:
+            pick, self._tip = self._tip, None
+        else:
+            pick = self.strategy.next_block()
+        block = self.blocks[pick]
+        detected = self._detects(victim_channel, block)
+        lured = False if detected else self._lured(block)
+        if detected or lured:
+            self._camping = pick
+            self._camped_decoy = lured
+            self.strategy.notify_found(pick)
+            return self._burst(victim_channel, block)
+        if rc.transmit_on_sweep:
+            return self._burst(victim_channel, block)
+        return False, 0.0, ()
+
+
+class FollowerSlotJammer(_SweepingJammer):
+    """Slot-aligned follower: attacks the victim's channel from ``lag`` slots ago."""
+
+    def __init__(
+        self,
+        config: MDPConfig,
+        rng: np.random.Generator,
+        strategy=None,
+        *,
+        follower: FollowerJammerConfig | None = None,
+    ) -> None:
+        self._fc = follower or FollowerJammerConfig()
+        self._detector = EnergyDetector(self._fc.sensitivity_dbm)
+        super().__init__(config, rng, strategy)
+
+    def reset(self) -> None:
+        super().reset()
+        self._trail: deque[int] = deque(maxlen=self._fc.lag_slots + 1)
+
+    def observe_and_attack(
+        self, victim_channel: int
+    ) -> tuple[bool, float, tuple[int, ...]]:
+        fc = self._fc
+        heard = self._detector.detects(fc.victim_rx_dbm)
+        self._trail.append(victim_channel if heard else -1)
+        if len(self._trail) <= fc.lag_slots:
+            return False, 0.0, ()
+        target = self._trail[0]
+        if target < 0:
+            return False, 0.0, ()
+        block = self.blocks[block_index(self.blocks, target)]
+        hit = victim_channel in block
+        return (hit, self._power() if hit else 0.0, block)
+
+
+class LearningSlotJammer(_SweepingJammer):
+    """Deploys a trained jammer DQN greedily inside the slot-aligned env."""
+
+    def __init__(
+        self,
+        config: MDPConfig,
+        rng: np.random.Generator,
+        *,
+        agent,
+        history_length: int = DEFAULT_HISTORY_LENGTH,
+    ) -> None:
+        super().__init__(config, rng)
+        _check_learning_agent(agent, len(self.blocks), history_length)
+        self._agent = agent
+        self._memory = JammerMemory(len(self.blocks), history_length)
+
+    def reset(self) -> None:
+        super().reset()
+        # reset() runs from the base __init__ before _memory exists.
+        if hasattr(self, "_memory"):
+            self._memory.reset()
+
+    def observe_and_attack(
+        self, victim_channel: int
+    ) -> tuple[bool, float, tuple[int, ...]]:
+        action = int(self._agent.act(self._memory.observation(), greedy=True))
+        block = self.blocks[action]
+        hit = victim_channel in block
+        self._memory.update(hit=hit, block=action)
+        return (hit, self._power() if hit else 0.0, block)
+
+
+def make_slot_jammer_factory(
+    adversary: str = "sweep",
+    *,
+    reactive: ReactiveJammerConfig | None = None,
+    follower: FollowerJammerConfig | None = None,
+    agent=None,
+    slot_duration_s: float = 3.0,
+    history_length: int = DEFAULT_HISTORY_LENGTH,
+):
+    """A ``jammer_factory`` for :class:`~repro.core.envs.SweepJammingEnv`.
+
+    Returns ``None`` for ``"sweep"`` so callers can pass the result
+    straight through (the env then builds the paper's jammer itself).
+    """
+    if adversary == "sweep":
+        return None
+    if adversary == "reactive":
+        return lambda config, rng: ReactiveSlotJammer(
+            config, rng, reactive=reactive, slot_duration_s=slot_duration_s
+        )
+    if adversary == "follower":
+        return lambda config, rng: FollowerSlotJammer(
+            config, rng, follower=follower
+        )
+    if adversary == "learning":
+        return lambda config, rng: LearningSlotJammer(
+            config, rng, agent=agent, history_length=history_length
+        )
+    raise ConfigurationError(f"unknown adversary {adversary!r}")
+
+
+__all__ = [
+    "JammerMemory",
+    "ReactiveFieldJammer",
+    "FollowerFieldJammer",
+    "LearningFieldJammer",
+    "make_field_jammer",
+    "ReactiveSlotJammer",
+    "FollowerSlotJammer",
+    "LearningSlotJammer",
+    "make_slot_jammer_factory",
+]

@@ -6,6 +6,24 @@ sweep the next unvisited block of ZigBee channels, camp on the victim, or
 spend the interval re-acquiring a lost victim. Fig. 11(b) varies this
 duration against a fixed victim slot to show both faster *and* slower
 jammers degrade the defence differently.
+
+The adversary model is pluggable (:attr:`FieldJammerConfig.adversary`):
+beyond the paper's proactive sweep/camp jammer this module carries the
+*configs* for the harder adversaries of :mod:`repro.jamming.adversary` —
+a reactive jammer with a sense→classify→transmit budget
+(:class:`ReactiveJammerConfig`) and a follower that chases hops with a
+lag (:class:`FollowerJammerConfig`).
+
+Clock contract
+--------------
+
+:meth:`FieldJammer.attack_profile` advances a monotone clock: every call
+must start at or after the previous window's end (gaps are fine — the
+jammer simply makes its next decision late). Handing it a window that
+starts *before* the last advanced time would replay decisions against
+stale ``_active_block``/``_next_decision`` state, so it raises
+:class:`~repro.errors.ConfigurationError` instead. :meth:`FieldJammer.reset`
+rewinds the clock to zero along with all attack state.
 """
 
 from __future__ import annotations
@@ -23,6 +41,114 @@ from repro.core.mdp import JammerMode
 from repro.errors import ConfigurationError
 from repro.rng import SeedLike, make_rng
 
+#: Adversary models :func:`repro.jamming.adversary.make_field_jammer`
+#: understands. ``sweep`` is the paper's proactive jammer.
+ADVERSARIES = ("sweep", "reactive", "follower", "learning")
+
+#: Tolerance for float jitter when validating the monotone clock.
+_CLOCK_EPS = 1e-9
+
+
+def channel_blocks(num_channels: int, jam_width: int) -> list[tuple[int, ...]]:
+    """Partition ``num_channels`` into ``ceil(C/m)`` contiguous jam blocks."""
+    num_blocks = -(-num_channels // jam_width)
+    bounds = np.linspace(0, num_channels, num_blocks + 1).astype(int)
+    return [tuple(range(bounds[i], bounds[i + 1])) for i in range(num_blocks)]
+
+
+def block_index(blocks: list[tuple[int, ...]], channel: int) -> int:
+    """Index of the block containing ``channel``."""
+    for i, block in enumerate(blocks):
+        if channel in block:
+            return i
+    raise ConfigurationError(f"channel {channel} is in no block")
+
+
+@dataclass(frozen=True)
+class ReactiveJammerConfig:
+    """Sense→classify→transmit budget of a reactive jammer.
+
+    The defaults describe an *ideal* reactive jammer — perfect detection,
+    zero turnaround, unbounded duty cycle — which behaves bit-for-bit like
+    the paper's proactive sweep/camp jammer (the acquisition sweep still
+    transmits, per ``transmit_on_sweep``). Every knob away from the
+    defaults weakens or sharpens it:
+
+    * ``sensitivity_dbm`` / ``victim_rx_dbm`` — the energy-detection
+      threshold and how loud the victim appears at the jammer. A victim
+      below the threshold is never classified, so the jammer never camps.
+    * ``detection_probability`` — per-sense chance that an audible victim
+      in the sensed block is actually noticed.
+    * ``response_latency_s`` — sensing + classification + TX turnaround
+      paid at the start of every attacking decision, shaving that much off
+      each jamming burst.
+    * ``duty_cycle`` — transmit-time budget as a fraction of wall time
+      (token bucket, one jammer slot of burst capacity). Exhausted budget
+      forces idle decisions — the resource deception defences drain.
+    * ``eavesdrop_probability`` — chance of overhearing the FH negotiation
+      when the victim escapes (the ACK side-channel), re-acquiring the new
+      block without sweeping for it.
+    * ``decoy_discrimination`` — per-sense chance of unmasking a decoy
+      transmission; below 1.0 the jammer can be baited into camping on
+      (and burning duty against) a decoy's block.
+    * ``transmit_on_sweep`` — ``True`` is the paper's sweep-and-jam
+      acquisition; ``False`` is a classic sense-only reactive jammer that
+      transmits nothing until it has classified a target.
+    """
+
+    sensitivity_dbm: float = -85.0
+    victim_rx_dbm: float = -60.0
+    detection_probability: float = 1.0
+    response_latency_s: float = 0.0
+    duty_cycle: float = 1.0
+    eavesdrop_probability: float = 0.0
+    decoy_discrimination: float = 0.0
+    transmit_on_sweep: bool = True
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.detection_probability <= 1.0:
+            raise ConfigurationError("detection probability must be in [0, 1]")
+        if self.response_latency_s < 0.0:
+            raise ConfigurationError("response latency cannot be negative")
+        if not 0.0 < self.duty_cycle <= 1.0:
+            raise ConfigurationError("duty cycle must lie in (0, 1]")
+        if not 0.0 <= self.eavesdrop_probability <= 1.0:
+            raise ConfigurationError("eavesdrop probability must be in [0, 1]")
+        if not 0.0 <= self.decoy_discrimination <= 1.0:
+            raise ConfigurationError("decoy discrimination must be in [0, 1]")
+
+    @property
+    def is_ideal(self) -> bool:
+        """Whether this config degenerates to the proactive sweep/camp jammer."""
+        return (
+            self.detection_probability >= 1.0
+            and self.response_latency_s == 0.0
+            and self.duty_cycle >= 1.0
+            and self.eavesdrop_probability == 0.0
+            and self.transmit_on_sweep
+            and self.victim_rx_dbm >= self.sensitivity_dbm
+        )
+
+
+@dataclass(frozen=True)
+class FollowerJammerConfig:
+    """A follower jammer chasing the victim's hops with a processing lag.
+
+    Each jammer slot it wideband-senses the victim's current channel (if
+    audible above ``sensitivity_dbm``) and attacks the block the victim
+    occupied ``lag_slots`` decisions ago. ``lag_slots=0`` is a perfect
+    follower; against per-slot FHSS a lag of 1 only connects when the
+    victim *stays*.
+    """
+
+    lag_slots: int = 1
+    sensitivity_dbm: float = -85.0
+    victim_rx_dbm: float = -60.0
+
+    def __post_init__(self) -> None:
+        if self.lag_slots < 0:
+            raise ConfigurationError("follower lag cannot be negative")
+
 
 @dataclass(frozen=True)
 class FieldJammerConfig:
@@ -33,6 +159,19 @@ class FieldJammerConfig:
     jam_width: int = ZIGBEE_CHANNELS_PER_WIFI
     power_levels: tuple[float, ...] = DEFAULT_JAMMER_POWER_LEVELS
     mode: str = JammerMode.MAX
+    #: Which adversary model drives the clock (see :data:`ADVERSARIES`);
+    #: anything beyond ``sweep`` is built by
+    #: :func:`repro.jamming.adversary.make_field_jammer`.
+    adversary: str = "sweep"
+    #: Sweep-order strategy name (see :func:`repro.jamming.strategies.make_strategy`).
+    sweep_strategy: str = "random"
+    #: Extra strategy options as (name, value) pairs — kept as a tuple so
+    #: the config stays frozen/hashable/picklable for shard dispatch.
+    strategy_options: tuple[tuple[str, object], ...] = ()
+    reactive: ReactiveJammerConfig | None = None
+    follower: FollowerJammerConfig | None = None
+    #: Trained jammer DQN for ``adversary="learning"`` (self-play output).
+    learning_agent: object | None = None
 
     def __post_init__(self) -> None:
         if self.slot_duration_s <= 0:
@@ -43,6 +182,11 @@ class FieldJammerConfig:
             raise ConfigurationError("jammer needs at least one power level")
         if self.mode not in JammerMode.ALL:
             raise ConfigurationError(f"unknown jammer mode {self.mode!r}")
+        if self.adversary not in ADVERSARIES:
+            raise ConfigurationError(
+                f"unknown adversary {self.adversary!r}; expected one of "
+                f"{ADVERSARIES}"
+            )
 
     @property
     def num_blocks(self) -> int:
@@ -67,7 +211,10 @@ class FieldJammer:
 
     The sweep order is pluggable (see :mod:`repro.jamming.strategies`);
     the default :class:`~repro.jamming.strategies.RandomSweep` is the
-    paper's uniform without-replacement search.
+    paper's uniform without-replacement search. Subclasses implement the
+    harder adversaries by overriding :meth:`_decide` — the window/segment
+    accounting (including attacks that start mid-decision via
+    ``_active_from``) lives here.
     """
 
     def __init__(
@@ -77,16 +224,26 @@ class FieldJammer:
         seed: SeedLike = None,
         strategy=None,
     ) -> None:
-        from repro.jamming.strategies import RandomSweep
+        from repro.jamming.strategies import make_strategy, strategy_options
 
         self.config = config or FieldJammerConfig()
         self._rng = make_rng(seed)
         cfg = self.config
-        bounds = np.linspace(0, cfg.num_channels, cfg.num_blocks + 1).astype(int)
-        self.blocks: list[tuple[int, ...]] = [
-            tuple(range(bounds[i], bounds[i + 1])) for i in range(cfg.num_blocks)
-        ]
-        self.strategy = strategy or RandomSweep(len(self.blocks), seed=self._rng)
+        self.blocks: list[tuple[int, ...]] = channel_blocks(
+            cfg.num_channels, cfg.jam_width
+        )
+        if strategy is None:
+            # The default strategy shares the jammer's rng stream (the
+            # paper's jammer interleaves sweep and power draws on one
+            # source); seedless strategies just don't get one.
+            seeded = "seed" in strategy_options(cfg.sweep_strategy)
+            strategy = make_strategy(
+                cfg.sweep_strategy,
+                len(self.blocks),
+                seed=self._rng if seeded else None,
+                **dict(cfg.strategy_options),
+            )
+        self.strategy = strategy
         if self.strategy.num_blocks != len(self.blocks):
             raise ConfigurationError(
                 f"strategy expects {self.strategy.num_blocks} blocks; "
@@ -95,11 +252,18 @@ class FieldJammer:
         self.reset()
 
     def reset(self) -> None:
+        """Restart the search and rewind the clock to time zero."""
         self.strategy.reset()
         self._camping: int | None = None
         self._active_block: tuple[int, ...] = ()
         self._active_power: float = 0.0
+        self._active_from: float = 0.0
         self._next_decision: float = 0.0
+        self._clock: float = 0.0
+
+    def block_of(self, channel: int) -> int:
+        """Index of the jam block containing ``channel``."""
+        return block_index(self.blocks, channel)
 
     # -- decision making --------------------------------------------------------
 
@@ -109,28 +273,42 @@ class FieldJammer:
             return levels[-1]
         return levels[int(self._rng.integers(len(levels)))]
 
-    def _decide(self, victim_channel: int) -> None:
+    def _decide(self, t: float, victim_channel: int) -> None:
         """One jammer slot's decision given where the victim currently is."""
         if self._camping is not None:
             block = self.blocks[self._camping]
             if victim_channel in block:
                 self._active_block = block
                 self._active_power = self._power()
+                self._active_from = t
                 return
             # Victim escaped: burn this jammer slot re-acquiring.
             stale = self._camping
             self._camping = None
             self.strategy.notify_lost(stale)
-            self._active_block = ()
-            self._active_power = 0.0
+            self._idle(t)
             return
         pick = self.strategy.next_block()
         block = self.blocks[pick]
         self._active_block = block
         self._active_power = self._power()
+        self._active_from = t
         if victim_channel in block:
             self._camping = pick
             self.strategy.notify_found(pick)
+
+    def _idle(self, t: float) -> None:
+        """Transmit nothing for this decision."""
+        self._active_block = ()
+        self._active_power = 0.0
+        self._active_from = t
+
+    def observe_decoy(self, channel: int | None) -> None:
+        """Note a decoy transmission heard during the coming window.
+
+        The proactive jammer never senses, so this is a no-op; reactive
+        subclasses can be baited by it. ``None`` clears any prior decoy.
+        """
 
     # -- querying ------------------------------------------------------------------
 
@@ -141,9 +319,19 @@ class FieldJammer:
 
         The victim's channel is constant over the window (one victim slot).
         Returns how much of the window was attacked and at what power.
+
+        Windows must move forward in time: ``window_start`` may not fall
+        before the end of the last advanced window (see the module's clock
+        contract). Use :meth:`reset` to rewind to time zero.
         """
         if window_end <= window_start:
             raise ConfigurationError("window must have positive length")
+        if window_start < self._clock - _CLOCK_EPS:
+            raise ConfigurationError(
+                f"window starting at {window_start} begins before the jammer "
+                f"clock ({self._clock}); attack_profile windows must be "
+                "monotone — call reset() to rewind to time zero"
+            )
         if not 0 <= victim_channel < self.config.num_channels:
             raise ConfigurationError(f"victim channel {victim_channel} out of range")
         t = window_start
@@ -152,16 +340,19 @@ class FieldJammer:
         max_power = 0.0
         while t < window_end:
             if t >= self._next_decision:
-                self._decide(victim_channel)
+                self._decide(t, victim_channel)
                 self._next_decision = (
                     max(t, self._next_decision) + self.config.slot_duration_s
                 )
             seg_end = min(window_end, self._next_decision)
             if victim_channel in self._active_block and self._active_power > 0:
-                attempted = True
-                jammed += seg_end - t
-                max_power = max(max_power, self._active_power)
+                covered = seg_end - max(t, self._active_from)
+                if covered > 0:
+                    attempted = True
+                    jammed += covered
+                    max_power = max(max_power, self._active_power)
             t = seg_end
+        self._clock = window_end
         return AttackProfile(
             jammed_fraction=jammed / (window_end - window_start),
             attempted=attempted,
@@ -177,9 +368,11 @@ class FieldJammer:
         """Channels under attack as of the last window advanced.
 
         Empty before the first :meth:`attack_profile` call and while the
-        jammer is burning a slot re-acquiring a lost victim.
+        jammer is burning a slot re-acquiring a lost victim (or, for a
+        latency-bound reactive jammer, before its turnaround completes).
         """
-        return self._active_block if self._active_power > 0 else ()
+        attacking = self._active_power > 0 and self._active_from < self._clock
+        return self._active_block if attacking else ()
 
     def is_attacking(self, channel: int) -> bool:
         """Whether ``channel`` sits inside the currently active attack block.
@@ -190,7 +383,16 @@ class FieldJammer:
         """
         if not 0 <= channel < self.config.num_channels:
             raise ConfigurationError(f"channel {channel} out of range")
-        return channel in self._active_block and self._active_power > 0
+        return channel in self.active_channels
 
 
-__all__ = ["FieldJammerConfig", "AttackProfile", "FieldJammer"]
+__all__ = [
+    "ADVERSARIES",
+    "channel_blocks",
+    "block_index",
+    "ReactiveJammerConfig",
+    "FollowerJammerConfig",
+    "FieldJammerConfig",
+    "AttackProfile",
+    "FieldJammer",
+]

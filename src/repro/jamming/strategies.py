@@ -17,6 +17,7 @@ probe the defence beyond the paper's model:
 from __future__ import annotations
 
 import abc
+import inspect
 
 import numpy as np
 
@@ -145,19 +146,59 @@ class AdaptiveSweep(SweepStrategy):
         return self._scores.copy()
 
 
+_STRATEGY_CLASSES: dict[str, type[SweepStrategy]] = {
+    "random": RandomSweep,
+    "sequential": SequentialSweep,
+    "adaptive": AdaptiveSweep,
+}
+
+#: Names :func:`make_strategy` understands, in stable order.
+STRATEGY_NAMES = tuple(_STRATEGY_CLASSES)
+
+
+def _lookup(name: str) -> type[SweepStrategy]:
+    try:
+        return _STRATEGY_CLASSES[name]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown sweep strategy {name!r}; expected one of "
+            f"{'/'.join(STRATEGY_NAMES)}"
+        ) from None
+
+
+def strategy_options(name: str) -> tuple[str, ...]:
+    """Keyword options the named strategy accepts (besides ``num_blocks``).
+
+    ``"seed" in strategy_options(name)`` tells a caller whether the
+    strategy is randomised at all — :class:`SequentialSweep` is not.
+    """
+    params = inspect.signature(_lookup(name).__init__).parameters
+    return tuple(p for p in params if p not in ("self", "num_blocks"))
+
+
 def make_strategy(
-    name: str, num_blocks: int, *, seed: SeedLike = None
+    name: str, num_blocks: int, *, seed: SeedLike = None, **options
 ) -> SweepStrategy:
-    """Factory: ``random`` (paper), ``sequential``, or ``adaptive``."""
-    if name == "random":
-        return RandomSweep(num_blocks, seed=seed)
-    if name == "sequential":
-        return SequentialSweep(num_blocks)
-    if name == "adaptive":
-        return AdaptiveSweep(num_blocks, seed=seed)
-    raise ConfigurationError(
-        f"unknown sweep strategy {name!r}; expected random/sequential/adaptive"
-    )
+    """Factory: ``random`` (paper), ``sequential``, or ``adaptive``.
+
+    Extra keyword ``options`` are forwarded to the strategy constructor
+    (e.g. ``exploit_probability``/``memory_decay`` for ``adaptive``,
+    ``start`` for ``sequential``). ``seed`` is validated like any other
+    option: passing one to a strategy that cannot use it (``sequential``)
+    raises :class:`~repro.errors.ConfigurationError` instead of silently
+    discarding it.
+    """
+    cls = _lookup(name)
+    accepted = strategy_options(name)
+    if seed is not None:
+        options = {**options, "seed": seed}
+    unknown = sorted(set(options) - set(accepted))
+    if unknown:
+        raise ConfigurationError(
+            f"sweep strategy {name!r} does not accept option(s) "
+            f"{', '.join(unknown)}; it takes {', '.join(accepted) or 'none'}"
+        )
+    return cls(num_blocks, **options)
 
 
 __all__ = [
@@ -165,5 +206,7 @@ __all__ = [
     "RandomSweep",
     "SequentialSweep",
     "AdaptiveSweep",
+    "STRATEGY_NAMES",
+    "strategy_options",
     "make_strategy",
 ]

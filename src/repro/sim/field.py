@@ -25,7 +25,8 @@ from repro.core.envs import StepInfo
 from repro.core.mdp import TJ, J, MDPConfig, State
 from repro.core.metrics import MetricSummary, SlotLog
 from repro.errors import ConfigurationError
-from repro.jamming.jammer import FieldJammer, FieldJammerConfig
+from repro.jamming.adversary import make_field_jammer
+from repro.jamming.jammer import FieldJammerConfig, block_index, channel_blocks
 from repro.net.goodput import AGGREGATE_DRAWS_PER_SLOT, GoodputModel, GoodputReport
 from repro.net.timing import TimingModel
 from repro.obs import trace as obs_trace
@@ -139,6 +140,68 @@ class DQNPolicyAdapter:
         )
 
 
+class DeceptionAdapter:
+    """Deception defence: decoy transmissions that bait reactive jammers.
+
+    Wraps any base adapter and, after each slot's real decision, emits one
+    decoy burst on a channel in a *different* jam block (drawn from its own
+    rng stream). A reactive jammer that cannot discriminate the decoy
+    (``decoy_discrimination < 1``) camps on — and burns duty-cycle budget
+    against — an empty block; the paper's proactive jammer ignores decoys
+    entirely, so against it this baseline only pays the decoy airtime.
+
+    * ``decoy_rate`` — probability of emitting a decoy each slot.
+    * ``decoy_airtime_s`` — control-plane time the decoy costs the victim,
+      added to the slot's negotiation overhead.
+    """
+
+    def __init__(
+        self,
+        base,
+        config: MDPConfig,
+        *,
+        jam_width: int,
+        decoy_rate: float = 1.0,
+        decoy_airtime_s: float = 0.3,
+        seed: SeedLike = None,
+    ) -> None:
+        if not 0.0 <= decoy_rate <= 1.0:
+            raise ConfigurationError("decoy rate must be in [0, 1]")
+        if decoy_airtime_s < 0.0:
+            raise ConfigurationError("decoy airtime cannot be negative")
+        self.base = base
+        self.config = config
+        self.decoy_rate = decoy_rate
+        self.decoy_airtime_s = decoy_airtime_s
+        self._blocks = channel_blocks(config.num_channels, jam_width)
+        self._rng = make_rng(seed)
+        self.active_decoy: int | None = None
+
+    @property
+    def channel(self) -> int:
+        return self.base.channel
+
+    def decide(self, last_state: State) -> tuple[int, int]:
+        channel, power_index = self.base.decide(last_state)
+        self.active_decoy = None
+        if self._rng.random() < self.decoy_rate:
+            own = block_index(self._blocks, channel)
+            others = [
+                c
+                for i, block in enumerate(self._blocks)
+                if i != own
+                for c in block
+            ]
+            if others:
+                self.active_decoy = int(
+                    others[int(self._rng.integers(len(others)))]
+                )
+        return channel, power_index
+
+    def observe(self, state: State, channel: int, power_index: int) -> None:
+        self.base.observe(state, channel, power_index)
+
+
 @dataclass(frozen=True)
 class FieldConfig:
     """Parameters of the field experiment."""
@@ -247,7 +310,7 @@ class FieldExperiment(SlottedSimulation[FieldSlotRecord]):
             timing=config.timing, num_nodes=config.num_peripherals
         )
         self.jammer = (
-            FieldJammer(config.jammer, seed=derive(seed, "field-jammer"))
+            make_field_jammer(config.jammer, seed=derive(seed, "field-jammer"))
             if config.jammer is not None
             else None
         )
@@ -304,12 +367,19 @@ class FieldExperiment(SlottedSimulation[FieldSlotRecord]):
                 include_recovery=stranded_recovery,
             ) + self.goodput.slot_guard_s
 
+        # Decoys (deception defence): pay their airtime on the control
+        # plane and let a sensing jammer overhear them for this window.
+        decoy = getattr(self.adapter, "active_decoy", None)
+        if decoy is not None:
+            negotiation += float(getattr(self.adapter, "decoy_airtime_s", 0.0))
+
         # The jammer sweeps/camps across this slot's window.
         jam_fraction = 0.0
         attempted = False
         defeated = False
         old_channel_attacked = False
         if self.jammer is not None:
+            self.jammer.observe_decoy(decoy)
             profile = self.jammer.attack_profile(
                 start_time, start_time + cfg.tx_slot_duration_s, channel
             )
@@ -469,6 +539,7 @@ __all__ = [
     "SAMPLING_MODES",
     "StatePolicyAdapter",
     "DQNPolicyAdapter",
+    "DeceptionAdapter",
     "FieldConfig",
     "FieldSlotPlan",
     "FieldSlotRecord",

@@ -15,7 +15,11 @@ from repro.core.mdp import AntiJammingMDP, JammerMode, MDPConfig
 from repro.core.policy import policy_from_solution_map
 from repro.core.solver import value_iteration
 from repro.errors import ConfigurationError
-from repro.jamming.jammer import FieldJammerConfig
+from repro.jamming.jammer import (
+    FieldJammerConfig,
+    FollowerJammerConfig,
+    ReactiveJammerConfig,
+)
 from repro.rng import SeedLike
 
 
@@ -36,36 +40,59 @@ def paper_defaults(jammer_mode: str = JammerMode.MAX) -> PaperDefaults:
 
 
 def field_jammer_config(
-    defaults: PaperDefaults, *, slot_duration_s: float | None = None
+    defaults: PaperDefaults,
+    *,
+    slot_duration_s: float | None = None,
+    adversary: str = "sweep",
+    sweep_strategy: str = "random",
+    strategy_options: tuple[tuple[str, object], ...] = (),
+    reactive: ReactiveJammerConfig | None = None,
+    follower: FollowerJammerConfig | None = None,
+    learning_agent=None,
 ) -> FieldJammerConfig:
-    """Field jammer matching a scenario's MDP geometry."""
+    """Field jammer matching a scenario's MDP geometry.
+
+    ``adversary`` (and its matching sub-config) selects one of the harder
+    attackers of :mod:`repro.jamming.adversary`; the default is the
+    paper's proactive sweep/camp jammer with its uniform sweep order.
+    """
     return FieldJammerConfig(
         slot_duration_s=slot_duration_s or defaults.jammer_slot_duration_s,
         num_channels=defaults.mdp.num_channels,
         jam_width=defaults.mdp.jam_width,
         power_levels=defaults.mdp.jammer_power_levels,
         mode=defaults.mdp.jammer_mode,
+        adversary=adversary,
+        sweep_strategy=sweep_strategy,
+        strategy_options=strategy_options,
+        reactive=reactive,
+        follower=follower,
+        learning_agent=learning_agent,
     )
 
 
-#: The schemes of Fig. 11(a). "rl" is handled separately because it needs a
-#: trained agent; "optimal" is the exact MDP optimum (the value the DQN
-#: approximates).
-SCHEMES = ("psv", "rand", "optimal")
+#: The schemes of Fig. 11(a) plus the deception defence baseline. "rl" is
+#: handled separately because it needs a trained agent; "optimal" is the
+#: exact MDP optimum (the value the DQN approximates); "deception" runs the
+#: optimal policy *plus* decoy transmissions that bait reactive jammers
+#: (:class:`repro.sim.field.DeceptionAdapter` adds the decoys at the field
+#: layer).
+SCHEMES = ("psv", "rand", "optimal", "deception")
 
 
 def scheme_policy(name: str, config: MDPConfig, *, seed: SeedLike = None):
     """Build a named baseline policy over ``config``.
 
-    ``psv``     Passive FH — reacts only after sustained jamming.
-    ``rand``    Random FH — random FH/PC every slot.
-    ``optimal`` The exact value-iteration optimum of the MDP.
+    ``psv``       Passive FH — reacts only after sustained jamming.
+    ``rand``      Random FH — random FH/PC every slot.
+    ``optimal``   The exact value-iteration optimum of the MDP.
+    ``deception`` The optimal policy; decoys are added by the field layer.
     """
     if name == "psv":
         return PassiveFHPolicy(config)
     if name == "rand":
         return RandomFHPolicy(config, seed=seed)
-    if name == "optimal":
+    if name in ("optimal", "deception"):
         solution = value_iteration(AntiJammingMDP(config))
         return policy_from_solution_map(solution.policy_map())
     raise ConfigurationError(

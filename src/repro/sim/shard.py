@@ -43,6 +43,7 @@ from repro.core.vecenv import greedy_policy_actions
 from repro.errors import ConfigurationError, SimulationError
 from repro.exec.faults import TaskFailure
 from repro.exec.runner import ParallelRunner, resolve_workers
+from repro.jamming.adversary import make_field_jammer
 from repro.jamming.jammer import FieldJammer
 from repro.net.goodput import AGGREGATE_DRAWS_PER_SLOT, GoodputModel
 from repro.obs import trace as obs_trace
@@ -50,6 +51,7 @@ from repro.obs.metrics import METRICS
 from repro.rng import SeedLike, derive
 from repro.sim.engine import check_num_slots, resolve_field_batch
 from repro.sim.field import (
+    DeceptionAdapter,
     DQNPolicyAdapter,
     FieldConfig,
     FieldExperiment,
@@ -192,7 +194,8 @@ class SchemeAdapterFactory:
     hop_channels: tuple[int, ...] | None = None
 
     def __call__(self, mdp: MDPConfig, net_seed: int):
-        if self.scheme == "optimal":
+        if self.scheme in ("optimal", "deception"):
+            # Both run the (seed-independent) exact optimum underneath.
             policy = _OPTIMAL_POLICY_CACHE.get(mdp)
             if policy is None:
                 policy = scheme_policy("optimal", mdp)
@@ -201,12 +204,20 @@ class SchemeAdapterFactory:
             policy = scheme_policy(
                 self.scheme, mdp, seed=derive(net_seed, "grid-policy")
             )
-        return StatePolicyAdapter(
+        adapter = StatePolicyAdapter(
             policy,
             mdp,
             hop_channels=self.hop_channels,
             seed=derive(net_seed, "grid-adapter"),
         )
+        if self.scheme == "deception":
+            return DeceptionAdapter(
+                adapter,
+                mdp,
+                jam_width=mdp.jam_width,
+                seed=derive(net_seed, "grid-decoy"),
+            )
+        return adapter
 
 
 class FieldJammerBank:
@@ -514,13 +525,14 @@ class _ShardEngine:
         bank = (
             FieldJammerBank(
                 [
-                    FieldJammer(fld.jammer, seed=derive(s, "field-jammer"))
+                    make_field_jammer(fld.jammer, seed=derive(s, "field-jammer"))
                     for s in spec.net_seeds
                 ]
             )
             if fld.jammer is not None
             else None
         )
+        has_decoys = any(hasattr(a, "active_decoy") for a in adapters)
 
         # Decide-phase strategy: stateless table policies vectorise, a
         # DQN fleet acts through one stacked forward, anything else loops.
@@ -606,6 +618,22 @@ class _ShardEngine:
                 )
                 + goodput_model.slot_guard_s
             )
+
+            # Decoys (deception defence): pay airtime, bait the jammers —
+            # same ordering as FieldExperiment.begin_slot.
+            if has_decoys:
+                decoys = [getattr(a, "active_decoy", None) for a in adapters]
+                negotiation = negotiation + np.array(
+                    [
+                        float(getattr(a, "decoy_airtime_s", 0.0))
+                        if d is not None
+                        else 0.0
+                        for a, d in zip(adapters, decoys)
+                    ]
+                )
+                if bank is not None:
+                    for jammer, d in zip(bank.jammers, decoys):
+                        jammer.observe_decoy(d)
 
             # Jammer bank.
             if bank is not None:

@@ -210,3 +210,59 @@ class TestSweepEnv:
                     break
         probs = counts[1:] / counts.sum()
         np.testing.assert_allclose(probs, 0.25, atol=0.04)
+
+
+class TestSeededResetIsolation:
+    """Regression: a seeded reset must not leak strategy/jammer state.
+
+    SweepJammingEnv used to hand an injected sweep strategy straight to the
+    jammer, so ``reset(seed=k)`` reused the strategy's *mutated* state
+    (adaptive scores, partial cycles) and two same-seed episodes diverged.
+    The env now deep-copies the pristine template on every seeded reset.
+    """
+
+    def _trace(self, env, seed, steps=150):
+        env.reset(seed=seed)
+        actions = np.random.default_rng(5)
+        out = []
+        for _ in range(steps):
+            _, reward, info = env.step_index(int(actions.integers(env.num_actions)))
+            out.append((reward, info))
+        return out
+
+    def test_seeded_reset_restores_injected_strategy_state(self):
+        from repro.jamming.strategies import AdaptiveSweep
+
+        cfg = MDPConfig(jammer_mode="max")
+        env = SweepJammingEnv(
+            cfg, seed=0, sweep_strategy=AdaptiveSweep(cfg.sweep_cycle, seed=9)
+        )
+        assert self._trace(env, seed=42) == self._trace(env, seed=42)
+
+    def test_seeded_reset_rebuilds_factory_jammers(self):
+        from repro.jamming.adversary import make_slot_jammer_factory
+
+        env = SweepJammingEnv(
+            seed=0, jammer_factory=make_slot_jammer_factory("follower")
+        )
+        assert self._trace(env, seed=7) == self._trace(env, seed=7)
+
+    def test_strategy_and_factory_are_mutually_exclusive(self):
+        from repro.jamming.strategies import SequentialSweep
+
+        with pytest.raises(ConfigurationError, match="not both"):
+            SweepJammingEnv(
+                seed=0,
+                sweep_strategy=SequentialSweep(4),
+                jammer_factory=lambda config, rng: None,
+            )
+
+    def test_injected_strategy_template_stays_pristine(self):
+        from repro.jamming.strategies import AdaptiveSweep
+
+        cfg = MDPConfig(jammer_mode="max")
+        template = AdaptiveSweep(cfg.sweep_cycle, seed=3)
+        env = SweepJammingEnv(cfg, seed=0, sweep_strategy=template)
+        self._trace(env, seed=1)
+        # Episodes mutate the jammer's copy, never the caller's object.
+        assert template.block_scores().sum() == 0.0

@@ -39,6 +39,14 @@ class TestAckEavesdropper:
         with pytest.raises(ConfigurationError):
             AckEavesdropper(1.5)
 
+    def test_same_seed_is_deterministic(self):
+        first = AckEavesdropper(0.5, seed=7)
+        second = AckEavesdropper(0.5, seed=7)
+        sequence = [first.observe(True) for _ in range(200)]
+        assert sequence == [second.observe(True) for _ in range(200)]
+        assert any(o is None for o in sequence)  # both branches exercised
+        assert any(o is True for o in sequence)
+
 
 class TestStealth:
     """Paper §II-B: EmuBee evades a format-based jamming watchdog; plain

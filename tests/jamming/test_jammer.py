@@ -113,6 +113,34 @@ class TestSweep:
         assert not j.is_camping
 
 
+class TestClockContract:
+    """attack_profile advances a monotone clock (module docstring contract)."""
+
+    def test_backward_window_raises(self):
+        j = FieldJammer(seed=0)
+        j.attack_profile(0.0, 3.0, victim_channel=0)
+        with pytest.raises(ConfigurationError, match="monotone"):
+            j.attack_profile(1.0, 4.0, victim_channel=0)
+
+    def test_gaps_are_fine(self):
+        # The jammer simply makes its next decision late.
+        j = FieldJammer(seed=0)
+        j.attack_profile(0.0, 3.0, victim_channel=0)
+        j.attack_profile(10.0, 13.0, victim_channel=0)
+
+    def test_float_jitter_tolerated(self):
+        j = FieldJammer(seed=0)
+        j.attack_profile(0.0, 0.1 + 0.2, victim_channel=0)  # ends past 0.3
+        j.attack_profile(0.3, 0.6, victim_channel=0)
+
+    def test_reset_rewinds_the_clock(self):
+        j = FieldJammer(seed=0)
+        j.attack_profile(0.0, 30.0, victim_channel=7)
+        j.reset()
+        profile = j.attack_profile(0.0, 3.0, victim_channel=7)
+        assert profile is not None  # time-zero windows are legal again
+
+
 class TestAttackQueries:
     """The public attack-state accessors the field engines rely on."""
 

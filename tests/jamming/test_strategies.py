@@ -10,10 +10,12 @@ from repro.core.metrics import evaluate_policy
 from repro.core.policy import ThresholdPolicy
 from repro.errors import ConfigurationError
 from repro.jamming.strategies import (
+    STRATEGY_NAMES,
     AdaptiveSweep,
     RandomSweep,
     SequentialSweep,
     make_strategy,
+    strategy_options,
 )
 
 
@@ -88,6 +90,22 @@ class TestAdaptiveSweep:
             firsts.add(s.next_block())
         assert len(firsts) > 1  # pure exploration ignores the memory
 
+    def test_exploit_tie_breaks_to_lowest_block(self):
+        # With no sightings every score ties at zero; the exploit path must
+        # then be deterministic (lowest block first), not rng-order.
+        s = AdaptiveSweep(4, exploit_probability=1.0, seed=0)
+        assert [s.next_block() for _ in range(4)] == [0, 1, 2, 3]
+
+    def test_memory_decay_fades_old_sightings(self):
+        s = AdaptiveSweep(4, exploit_probability=1.0, memory_decay=0.5, seed=0)
+        s.notify_found(1)
+        for _ in range(3):
+            s.notify_found(3)
+        scores = s.block_scores()
+        assert scores[3] > scores[1]
+        assert scores[1] == pytest.approx(0.125)  # 1.0 decayed three times
+        assert s.next_block() == 3
+
     def test_validation(self):
         with pytest.raises(ConfigurationError):
             AdaptiveSweep(4, exploit_probability=1.5)
@@ -96,14 +114,43 @@ class TestAdaptiveSweep:
 
 
 class TestFactory:
-    @pytest.mark.parametrize("name", ["random", "sequential", "adaptive"])
+    @pytest.mark.parametrize("name", STRATEGY_NAMES)
     def test_known_names(self, name):
-        s = make_strategy(name, 4, seed=0)
+        seed = 0 if "seed" in strategy_options(name) else None
+        s = make_strategy(name, 4, seed=seed)
         assert 0 <= s.next_block() < 4
 
     def test_unknown_name(self):
         with pytest.raises(ConfigurationError):
             make_strategy("psychic", 4)
+
+    def test_forwards_options(self):
+        s = make_strategy(
+            "adaptive", 4, seed=0, exploit_probability=0.25, memory_decay=0.5
+        )
+        assert isinstance(s, AdaptiveSweep)
+        assert s.exploit_probability == 0.25
+        assert s.memory_decay == 0.5
+        seq = make_strategy("sequential", 4, start=2)
+        assert seq.next_block() == 2
+
+    def test_rejects_unknown_options(self):
+        with pytest.raises(ConfigurationError, match="aggression"):
+            make_strategy("random", 4, aggression=1.0)
+
+    def test_rejects_seed_on_deterministic_strategy(self):
+        # Silently discarding the seed would hide a reproducibility bug.
+        with pytest.raises(ConfigurationError, match="seed"):
+            make_strategy("sequential", 4, seed=7)
+
+    def test_strategy_options_lists_accepted_keywords(self):
+        assert "seed" in strategy_options("random")
+        assert "seed" not in strategy_options("sequential")
+        assert set(strategy_options("adaptive")) == {
+            "exploit_probability",
+            "memory_decay",
+            "seed",
+        }
 
 
 class TestStrategyInEnvironment:

@@ -316,3 +316,61 @@ class TestFieldBatchResolution:
             resolve_field_batch()
         with pytest.raises(ConfigurationError):
             resolve_field_batch(0)
+
+
+class TestDeceptionAdapter:
+    def _adapter(self, **kwargs):
+        from repro.sim.field import DeceptionAdapter
+
+        d = paper_defaults()
+        policy = scheme_policy("optimal", d.mdp)
+        base = StatePolicyAdapter(policy, d.mdp, seed=1)
+        return DeceptionAdapter(
+            base, d.mdp, jam_width=d.mdp.jam_width, seed=2, **kwargs
+        )
+
+    def test_decoy_lands_in_a_different_block(self):
+        from repro.jamming.jammer import block_index, channel_blocks
+
+        adapter = self._adapter()
+        d = paper_defaults()
+        blocks = channel_blocks(d.mdp.num_channels, d.mdp.jam_width)
+        for _ in range(50):
+            channel, _ = adapter.decide(1)
+            assert adapter.active_decoy is not None
+            assert block_index(blocks, adapter.active_decoy) != block_index(
+                blocks, channel
+            )
+            adapter.observe(1, channel, 0)
+
+    def test_zero_rate_emits_no_decoys(self):
+        adapter = self._adapter(decoy_rate=0.0)
+        for _ in range(20):
+            adapter.decide(1)
+            assert adapter.active_decoy is None
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            self._adapter(decoy_rate=1.5)
+        with pytest.raises(ConfigurationError):
+            self._adapter(decoy_airtime_s=-0.1)
+
+    def test_experiment_runs_against_reactive_jammer(self):
+        from repro.jamming.jammer import ReactiveJammerConfig
+        from repro.sim.field import DeceptionAdapter
+
+        d = paper_defaults()
+        jammer = field_jammer_config(
+            d,
+            adversary="reactive",
+            reactive=ReactiveJammerConfig(duty_cycle=0.7, decoy_discrimination=0.25),
+        )
+        cfg = FieldConfig(mdp=d.mdp, jammer=jammer)
+        policy = scheme_policy("optimal", d.mdp)
+        base = StatePolicyAdapter(policy, d.mdp, seed=3)
+        adapter = DeceptionAdapter(base, d.mdp, jam_width=d.mdp.jam_width, seed=4)
+        result = FieldExperiment(cfg, adapter, seed=5).run_experiment(30)
+        # The decoy airtime comes out of the data phase, so utilisation
+        # stays strictly below an undefended slot's.
+        assert 0.0 < result.utilization < 1.0
+        assert result.goodput_pkts_per_slot > 0.0

@@ -255,3 +255,51 @@ class TestDQNGrid:
             ).run_experiment(SLOTS)
             assert got.goodput_pkts_per_slot[i] == solo.goodput_pkts_per_slot
             assert got.metrics[i] == solo.metrics
+
+
+class TestAdversaryGrids:
+    """The harder adversaries ride the same shard-invariance contract."""
+
+    def _adversary_grid(self, adversary: str, scheme: str) -> GridConfig:
+        from repro.jamming.jammer import (
+            FollowerJammerConfig,
+            ReactiveJammerConfig,
+        )
+
+        defaults = paper_defaults()
+        jammer = field_jammer_config(
+            defaults,
+            adversary=adversary,
+            reactive=ReactiveJammerConfig(
+                duty_cycle=0.7, response_latency_s=0.2, decoy_discrimination=0.25
+            ),
+            follower=FollowerJammerConfig(lag_slots=1),
+        )
+        return GridConfig(
+            field=FieldConfig(mdp=defaults.mdp, jammer=jammer),
+            num_networks=6,
+            width_m=30.0,
+            height_m=30.0,
+            scheme=scheme,
+        )
+
+    @pytest.mark.parametrize("adversary", ["reactive", "follower"])
+    @pytest.mark.parametrize("scheme", ["optimal", "deception"])
+    def test_shard_count_invariance(self, adversary, scheme):
+        cfg = self._adversary_grid(adversary, scheme)
+        base = FieldGrid(cfg, seed=5, shards=1).run(SLOTS)
+        split = FieldGrid(cfg, seed=5, shards=3).run(SLOTS)
+        assert np.array_equal(
+            base.goodput_pkts_per_slot, split.goodput_pkts_per_slot
+        )
+        assert np.array_equal(base.utilization, split.utilization)
+        assert base.metrics == split.metrics
+
+    def test_deception_is_a_known_scheme(self):
+        cfg = self._adversary_grid("reactive", "deception")
+        result = FieldGrid(cfg, seed=1).run(SLOTS)
+        assert result.mean_goodput > 0.0
+
+    def test_unknown_scheme_still_rejected(self):
+        with pytest.raises(ConfigurationError):
+            GridConfig(field=_field_config(), scheme="wishful")
