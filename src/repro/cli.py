@@ -52,6 +52,7 @@ from repro.jamming.jammer import ADVERSARIES
 from repro.jamming.strategies import STRATEGY_NAMES
 from repro.nn.serialize import artifact_size_bytes, parameter_count, save_parameters
 from repro.obs import log as obs_log
+from repro.obs import telemetry as obs_telemetry
 from repro.obs import trace as obs_trace
 from repro.phy.emulation import WaveformEmulator
 from repro.sim.engine import FIELD_BATCH_ENV
@@ -674,11 +675,44 @@ def cmd_selfplay(args: argparse.Namespace) -> int:
 
 
 def cmd_obs(args: argparse.Namespace) -> int:
-    # Imported lazily: the summary renderer is only needed by this command.
+    # Imported lazily: the readers are only needed by this command.
     from repro.obs.summary import render_summary
+    from repro.obs.telemetry import is_telemetry_file
 
+    if is_telemetry_file(args.trace):
+        from repro.obs.watch import render_dashboard
+
+        print(render_dashboard(args.trace, top=args.top))
+        return 0
     print(render_summary(args.trace, top=args.top))
     return 0
+
+
+def cmd_obs_export(args: argparse.Namespace) -> int:
+    from repro.obs.openmetrics import export_telemetry
+
+    prom_path, series_path = export_telemetry(
+        args.telemetry, out=args.out, series_out=args.series_out
+    )
+    log.info(
+        "telemetry exported",
+        openmetrics=str(prom_path),
+        series=str(series_path),
+    )
+    print(prom_path)
+    print(series_path)
+    return 0
+
+
+def cmd_obs_watch(args: argparse.Namespace) -> int:
+    from repro.obs.watch import watch
+
+    return watch(
+        args.telemetry,
+        interval=args.interval,
+        iterations=1 if args.once else None,
+        top=args.top,
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -807,15 +841,65 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("hex", help="ZigBee payload as hex, e.g. deadbeef")
     p.set_defaults(func=cmd_emulate)
 
-    p = sub.add_parser("obs", help="summarise a RUN_<name>.jsonl trace")
-    p.add_argument("trace", help="path to the trace written under REPRO_TRACE")
-    p.add_argument(
+    p = sub.add_parser(
+        "obs", help="inspect RUN_* traces and TELEM_* telemetry"
+    )
+    obs_sub = p.add_subparsers(dest="obs_action", required=True)
+
+    ps = obs_sub.add_parser(
+        "summary",
+        help="summarise a RUN_<name>.jsonl trace (or TELEM_* dashboard once)",
+    )
+    ps.add_argument("trace", help="path to the trace written under REPRO_TRACE")
+    ps.add_argument(
         "--top",
         type=int,
         default=10,
         help="how many counters/events to list (default 10)",
     )
-    p.set_defaults(func=cmd_obs)
+    ps.set_defaults(func=cmd_obs)
+
+    pe = obs_sub.add_parser(
+        "export",
+        help="export TELEM_*.jsonl as OpenMetrics .prom + merged series JSONL",
+    )
+    pe.add_argument(
+        "telemetry", help="path to the telemetry written under REPRO_TELEM"
+    )
+    pe.add_argument(
+        "--out", default=None, help="OpenMetrics path (default <stem>.prom)"
+    )
+    pe.add_argument(
+        "--series-out",
+        default=None,
+        help="merged series path (default <stem>_series.jsonl)",
+    )
+    pe.set_defaults(func=cmd_obs_export)
+
+    pw = obs_sub.add_parser(
+        "watch", help="live fleet dashboard over a TELEM_*.jsonl file"
+    )
+    pw.add_argument(
+        "telemetry", help="path to the telemetry written under REPRO_TELEM"
+    )
+    pw.add_argument(
+        "--interval",
+        type=float,
+        default=2.0,
+        help="seconds between refreshes (default 2)",
+    )
+    pw.add_argument(
+        "--once",
+        action="store_true",
+        help="render a single frame and exit (no screen clearing)",
+    )
+    pw.add_argument(
+        "--top",
+        type=int,
+        default=5,
+        help="how many hottest networks/counters to list (default 5)",
+    )
+    pw.set_defaults(func=cmd_obs_watch)
 
     p = sub.add_parser(
         "field-scale",
@@ -912,15 +996,36 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+#: ``repro obs`` sub-actions; anything else after ``obs`` is a trace path
+#: from the pre-subcommand CLI and routes to ``summary`` (back-compat).
+_OBS_ACTIONS = frozenset({"summary", "export", "watch"})
+
+
+def _obs_shim(argv: list[str]) -> list[str]:
+    """Insert ``summary`` after a bare ``repro obs <file>`` invocation."""
+    for i, token in enumerate(argv):
+        if token.startswith("-"):
+            continue  # top-level flags (-q/--quiet) precede the command
+        if token == "obs":
+            nxt = argv[i + 1] if i + 1 < len(argv) else None
+            if nxt is not None and nxt not in _OBS_ACTIONS:
+                return argv[: i + 1] + ["summary"] + argv[i + 1 :]
+        return argv
+    return argv
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = build_parser()
-    args = parser.parse_args(argv)
+    argv = list(sys.argv[1:] if argv is None else argv)
+    args = parser.parse_args(_obs_shim(argv))
     obs_log.configure(quiet=args.quiet)
-    # ``obs`` reads traces; it must never record into the very file it is
-    # asked to summarise when REPRO_TRACE points at it.
+    # ``obs`` reads traces/telemetry; it must never record into the very
+    # file it is asked to summarise when REPRO_TRACE/REPRO_TELEM point
+    # at it.
     tracing = False
     if args.command == "obs":
         obs_trace.disable()
+        obs_telemetry.disable()
     else:
         tracing = obs_trace.start_run(command=args.command)
     try:
@@ -931,6 +1036,10 @@ def main(argv: list[str] | None = None) -> int:
         log.error("command failed", command=args.command, error=str(exc))
         return 1
     finally:
+        if args.command != "obs":
+            telem_path = obs_telemetry.finish_run()
+            if telem_path is not None:
+                log.info("telemetry written", path=str(telem_path))
         if tracing:
             path = obs_trace.finish_run()
             if path is not None:

@@ -28,6 +28,7 @@ from repro.core.mdp import MDPConfig
 from repro.core.vecenv import _batched_act, _batched_train_step, _StackedMLP
 from repro.errors import ConfigurationError
 from repro.jamming.adversary import JammerMemory
+from repro.obs import telemetry as obs_telemetry
 from repro.rng import SeedLike, derive
 
 
@@ -221,6 +222,9 @@ def train_selfplay(
     victim_returns = np.zeros((cfg.pairs, cfg.episodes))
     jammer_returns = np.zeros((cfg.pairs, cfg.episodes))
     jam_rates = np.zeros((cfg.pairs, cfg.episodes))
+    telem = obs_telemetry.FlightRecorder(
+        "selfplay", labels={"pairs": str(cfg.pairs)}
+    )
     for episode in range(cfg.episodes):
         pairs = [env.reset() for env in envs]
         v_obs = np.stack([p[0] for p in pairs])
@@ -252,6 +256,14 @@ def train_selfplay(
                 _batched_train_step(v_stack, victims)
             if len(jammers[0].replay) >= jammer_dqn.warmup_transitions:
                 _batched_train_step(j_stack, jammers)
+        telem.tick(
+            episodes=1.0,
+            jam_rate=float(jam_rates[:, episode].mean())
+            / cfg.steps_per_episode,
+            victim_return=float(victim_returns[:, episode].mean()),
+            jammer_return=float(jammer_returns[:, episode].mean()),
+        )
+    telem.flush()
     jam_rates /= cfg.steps_per_episode
     for i in range(cfg.pairs):
         v_stack.write_back(i, victims[i])

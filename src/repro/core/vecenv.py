@@ -42,6 +42,7 @@ from repro.core.envs import StepInfo, SweepJammingEnv
 from repro.core.mdp import MDPConfig
 from repro.errors import TrainingError
 from repro.nn.layers import Dense, ReLU
+from repro.obs import telemetry as obs_telemetry
 from repro.obs import trace as obs_trace
 from repro.obs.metrics import METRICS
 from repro.rng import SeedLike, derive
@@ -522,6 +523,11 @@ def train_dqn_batch(
         steps_per_episode=trainer.steps_per_episode,
     ):
         METRICS.set("dqn.env_batch", n)
+        telem = obs_telemetry.FlightRecorder(
+            "dqn",
+            labels={"batch": str(n)},
+            counters=("link.per_cache_hits", "link.per_cache_misses"),
+        )
         for _ in range(trainer.episodes):
             if not active:
                 break
@@ -583,6 +589,13 @@ def train_dqn_batch(
                 METRICS.set("dqn.epsilon", live[pos].epsilon)
                 if ep_losses[pos]:
                     METRICS.observe("dqn.td_error", losses[i][-1])
+                telem.tick(
+                    episodes=1.0,
+                    reward=rewards[i][-1],
+                    loss=losses[i][-1] if ep_losses[pos] else 0.0,
+                    epsilon=live[pos].epsilon,
+                    env_steps=float(trainer.steps_per_episode),
+                )
                 obs_trace.event(
                     "dqn.episode",
                     seed=seed_list[i],
@@ -608,6 +621,7 @@ def train_dqn_batch(
                 stack.compact(keep)
                 vec = vec.select(keep)
                 active = [active[p] for p in keep]
+        telem.flush()
 
     for pos, i in enumerate(active):
         stack.write_back(pos, agents[i])

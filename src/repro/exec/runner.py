@@ -38,6 +38,7 @@ from typing import Any, Callable, Iterable, Sequence
 from repro.errors import ConfigurationError
 from repro.exec.faults import FaultCounters, FaultPolicy, run_with_faults
 from repro.exec.timing import REGISTRY, TimingRegistry
+from repro.obs import telemetry as obs_telemetry
 from repro.obs import trace as obs_trace
 from repro.obs.metrics import METRICS
 from repro.obs.profile import maybe_profile
@@ -102,6 +103,7 @@ def _traced_task(payload: tuple) -> Any:
         result=result,
         records=obs_trace.drain_worker(),
         metrics=METRICS.snapshot(),
+        telemetry=obs_telemetry.drain_worker(),
     )
 
 
@@ -109,6 +111,7 @@ def _absorb_traced(result: Any) -> Any:
     """Unwrap a :class:`TracedResult`: merge telemetry, return the payload."""
     if isinstance(result, obs_trace.TracedResult):
         obs_trace.absorb(result.records)
+        obs_telemetry.absorb(result.telemetry)
         METRICS.merge(result.metrics)
         return result.result
     return result  # TaskFailure sentinels and serial-path results
@@ -231,10 +234,11 @@ class ParallelRunner:
         counters: FaultCounters,
     ) -> list:
         workers = min(self.workers, len(specs))
-        # With tracing active and a pool in play, ship the ambient trace
-        # context inside every payload so worker-side spans/events/metrics
-        # come back with the results and merge into the single parent
-        # trace. With tracing off the payloads are untouched.
+        # With tracing or telemetry active and a pool in play, ship the
+        # ambient context inside every payload so worker-side spans,
+        # events, metrics, and telemetry frames come back with the
+        # results and merge into the parent's sinks. With both off the
+        # payloads are untouched.
         ctx = obs_trace.worker_context() if workers > 1 else None
         if ctx is not None:
             specs = [(task_fn, spec, ctx) for spec in specs]

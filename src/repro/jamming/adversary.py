@@ -212,12 +212,19 @@ class ReactiveFieldJammer(FieldJammer):
             self._budget_mark = t
             cost = max(self.config.slot_duration_s - rc.response_latency_s, 0.0)
             if self._budget + 1e-12 < cost:
+                self._count("duty_starved")
                 self._idle(t)  # budget exhausted: sit this decision out
                 return
             self._budget -= cost
+            self._count("duty_spent_s", cost)
         self._active_block = block
         self._active_power = self._power()
         self._active_from = t + rc.response_latency_s
+
+    @property
+    def duty_tokens(self) -> float:
+        """Remaining transmit budget in seconds (the token bucket level)."""
+        return self._budget
 
     def _decide(self, t: float, victim_channel: int) -> None:
         rc = self._rc
@@ -233,6 +240,7 @@ class ReactiveFieldJammer(FieldJammer):
             stale = self._camping
             self._camping = None
             self._camped_decoy = False
+            self._count("lock_losses")
             self.strategy.notify_lost(stale)
             self._idle(t)
             self._overhears_escape(victim_channel)
@@ -247,6 +255,9 @@ class ReactiveFieldJammer(FieldJammer):
         if detected or lured:
             self._camping = pick
             self._camped_decoy = lured
+            self._count("locks")
+            if lured:
+                self._count("decoy_baits")
             self.strategy.notify_found(pick)
             self._transmit(t, block)
         elif rc.transmit_on_sweep:
@@ -280,19 +291,32 @@ class FollowerFieldJammer(FieldJammer):
     def reset(self) -> None:
         super().reset()
         self._trail: deque[int] = deque(maxlen=self._fc.lag_slots + 1)
+        self._on_target = False
+
+    def _mark_target(self, on_target: bool) -> None:
+        """Count lock/loss transitions of the chase (trail hits victim)."""
+        if on_target and not self._on_target:
+            self._count("locks")
+        elif not on_target and self._on_target:
+            self._count("lock_losses")
+        self._on_target = on_target
 
     def _decide(self, t: float, victim_channel: int) -> None:
         fc = self._fc
         heard = self._detector.detects(fc.victim_rx_dbm)
         self._trail.append(victim_channel if heard else -1)
         if len(self._trail) <= fc.lag_slots:
+            self._mark_target(False)
             self._idle(t)
             return
         target = self._trail[0]
         if target < 0:
+            self._mark_target(False)
             self._idle(t)
             return
-        self._active_block = self.blocks[self.block_of(target)]
+        block = self.blocks[self.block_of(target)]
+        self._mark_target(victim_channel in block)
+        self._active_block = block
         self._active_power = self._power()
         self._active_from = t
 
@@ -382,6 +406,7 @@ class ReactiveSlotJammer(_SweepingJammer):
         # burst covers at least half the slot (the field engine's
         # jam_state_threshold, collapsed to the binary slot world).
         self._effective = self._rc.response_latency_s < 0.5 * slot_duration_s
+        self._jam_counters: dict[str, float] = {}
         super().__init__(config, rng, strategy)
 
     def reset(self) -> None:
@@ -403,6 +428,8 @@ class ReactiveSlotJammer(_SweepingJammer):
     _detects = ReactiveFieldJammer._detects
     _lured = ReactiveFieldJammer._lured
     _overhears_escape = ReactiveFieldJammer._overhears_escape
+    _count = FieldJammer._count
+    drain_counters = FieldJammer.drain_counters
 
     def _burst(
         self, victim_channel: int, block: tuple[int, ...]
@@ -412,8 +439,10 @@ class ReactiveSlotJammer(_SweepingJammer):
             return False, 0.0, ()
         if self._rc.duty_cycle < 1.0:
             if self._budget + 1e-12 < 1.0:
+                self._count("duty_starved")
                 return False, 0.0, ()
             self._budget -= 1.0
+            self._count("duty_spent_slots")
         hit = victim_channel in block
         return (hit, self._power() if hit else 0.0, block)
 
@@ -432,6 +461,7 @@ class ReactiveSlotJammer(_SweepingJammer):
             stale = self._camping
             self._camping = None
             self._camped_decoy = False
+            self._count("lock_losses")
             self.strategy.notify_lost(stale)
             self._overhears_escape(victim_channel)
             return False, 0.0, ()
@@ -445,6 +475,9 @@ class ReactiveSlotJammer(_SweepingJammer):
         if detected or lured:
             self._camping = pick
             self._camped_decoy = lured
+            self._count("locks")
+            if lured:
+                self._count("decoy_baits")
             self.strategy.notify_found(pick)
             return self._burst(victim_channel, block)
         if rc.transmit_on_sweep:
@@ -465,11 +498,17 @@ class FollowerSlotJammer(_SweepingJammer):
     ) -> None:
         self._fc = follower or FollowerJammerConfig()
         self._detector = EnergyDetector(self._fc.sensitivity_dbm)
+        self._jam_counters: dict[str, float] = {}
         super().__init__(config, rng, strategy)
 
     def reset(self) -> None:
         super().reset()
         self._trail: deque[int] = deque(maxlen=self._fc.lag_slots + 1)
+        self._on_target = False
+
+    _count = FieldJammer._count
+    drain_counters = FieldJammer.drain_counters
+    _mark_target = FollowerFieldJammer._mark_target
 
     def observe_and_attack(
         self, victim_channel: int
@@ -478,12 +517,15 @@ class FollowerSlotJammer(_SweepingJammer):
         heard = self._detector.detects(fc.victim_rx_dbm)
         self._trail.append(victim_channel if heard else -1)
         if len(self._trail) <= fc.lag_slots:
+            self._mark_target(False)
             return False, 0.0, ()
         target = self._trail[0]
         if target < 0:
+            self._mark_target(False)
             return False, 0.0, ()
         block = self.blocks[block_index(self.blocks, target)]
         hit = victim_channel in block
+        self._mark_target(hit)
         return (hit, self._power() if hit else 0.0, block)
 
 

@@ -249,6 +249,7 @@ class FieldJammer:
                 f"strategy expects {self.strategy.num_blocks} blocks; "
                 f"geometry has {len(self.blocks)}"
             )
+        self._jam_counters: dict[str, float] = {}
         self.reset()
 
     def reset(self) -> None:
@@ -264,6 +265,25 @@ class FieldJammer:
     def block_of(self, channel: int) -> int:
         """Index of the jam block containing ``channel``."""
         return block_index(self.blocks, channel)
+
+    # -- instrumentation ---------------------------------------------------------
+
+    def _count(self, key: str, amount: float = 1.0) -> None:
+        """Bump a local adversary counter (flushed via :meth:`drain_counters`)."""
+        self._jam_counters[key] = self._jam_counters.get(key, 0.0) + amount
+
+    def drain_counters(self) -> dict[str, float]:
+        """Return and clear the adversary counters accumulated so far.
+
+        Counters are process-local and survive :meth:`reset` — the field
+        engines drain them once per run into the metrics registry under
+        ``jam.<key>{adversary=...}`` labels. The base sweep jammer counts
+        nothing; subclasses record duty spend/starvation, lock/loss
+        transitions, and decoy baits here.
+        """
+        counters = self._jam_counters
+        self._jam_counters = {}
+        return counters
 
     # -- decision making --------------------------------------------------------
 

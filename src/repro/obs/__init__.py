@@ -1,21 +1,30 @@
-"""Observability: spans, events, metrics, structured logs, profiles.
+"""Observability: spans, events, metrics, telemetry, logs, profiles.
 
-Three pillars, all zero-dependency and off-by-default:
+Four pillars, all zero-dependency and off-by-default (metrics excepted):
 
 * :mod:`repro.obs.trace` — hierarchical spans and structured events,
   streamed to a ``RUN_<name>.jsonl`` artifact when ``REPRO_TRACE`` is
   set (sampled by ``REPRO_TRACE_SAMPLE``), with cross-process
   propagation through :class:`repro.exec.ParallelRunner` pool workers.
 * :mod:`repro.obs.metrics` — an always-on registry of named counters,
-  gauges, and fixed-bucket histograms, snapshotted into every
-  ``BENCH_*.json`` and into the trace's final ``metrics`` record.
+  gauges, and fixed-bucket histograms — optionally **labelled**
+  (``labels={"adversary": ..., "scheme": ...}``) — snapshotted into
+  every ``BENCH_*.json`` and into the trace's final ``metrics`` record.
+* :mod:`repro.obs.telemetry` — windowed time series (``REPRO_TELEM``):
+  per-slot fleet frames from the field engines and
+  :class:`~repro.obs.telemetry.FlightRecorder` episode series from the
+  training loops, streamed to ``TELEM_<name>.jsonl`` and merged across
+  shard workers bit-identically (see
+  :func:`~repro.obs.telemetry.merge_frames`).
 * :mod:`repro.obs.log` — structured ``key=value`` logging over stdlib
   :mod:`logging` (stderr; the CLI's ``--quiet`` caps it at WARNING).
 
 Plus :mod:`repro.obs.profile` (``REPRO_PROFILE=1`` dumps per-stage
-``PROF_<stage>.pstats``) and :mod:`repro.obs.summary` (the ``repro obs``
-trace renderer — import it directly; it is intentionally not re-exported
-here to keep library imports light).
+``PROF_<stage>.pstats``) and the ``repro obs`` readers —
+:mod:`repro.obs.summary` (trace renderer), :mod:`repro.obs.openmetrics`
+(``repro obs export``), :mod:`repro.obs.watch` (``repro obs watch``) —
+which are intentionally not re-exported here to keep library imports
+light.
 """
 
 from repro.obs.log import configure, get_logger
@@ -27,9 +36,20 @@ from repro.obs.metrics import (
     Gauge,
     Histogram,
     MetricsRegistry,
+    drain_labelled_counters,
+    label_key,
+    parse_metric_key,
 )
 from repro.obs.paths import artifact_dir
 from repro.obs.profile import PROFILE_ENV, maybe_profile, profiling_enabled
+from repro.obs.telemetry import (
+    TELEM_ENV,
+    TELEM_INTERVAL_ENV,
+    TELEM_WINDOW_ENV,
+    FlightRecorder,
+    load_telemetry,
+    merge_frames,
+)
 from repro.obs.trace import (
     SAMPLE_ENV,
     TRACE_ENV,
@@ -50,10 +70,19 @@ __all__ = [
     "Gauge",
     "Histogram",
     "MetricsRegistry",
+    "drain_labelled_counters",
+    "label_key",
+    "parse_metric_key",
     "artifact_dir",
     "PROFILE_ENV",
     "maybe_profile",
     "profiling_enabled",
+    "TELEM_ENV",
+    "TELEM_INTERVAL_ENV",
+    "TELEM_WINDOW_ENV",
+    "FlightRecorder",
+    "load_telemetry",
+    "merge_frames",
     "TRACE_ENV",
     "SAMPLE_ENV",
     "enabled",

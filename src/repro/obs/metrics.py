@@ -13,9 +13,17 @@ go up within a run; gauges hold the last written value; histograms bin
 observations into fixed upper-bound buckets so quantiles can be estimated
 after the fact without storing samples.
 
+Metrics optionally carry a **label set** (``labels={"adversary":
+"reactive", "scheme": "deception"}``): each distinct label combination is
+its own time series, stored under the serialised key
+``name{k=v,...}`` with label keys sorted — so snapshots stay
+deterministic, cross-process merging needs no special casing, and
+exporters (:mod:`repro.obs.openmetrics`) can parse the labels back out
+with :func:`parse_metric_key`.
+
 Pool workers accumulate into their own process-local registry; when
-tracing is active the :class:`repro.exec.ParallelRunner` envelope carries
-each worker's snapshot back and merges it here (see
+tracing or telemetry is active the :class:`repro.exec.ParallelRunner`
+envelope carries each worker's snapshot back and merges it here (see
 :func:`MetricsRegistry.merge`).
 """
 
@@ -24,6 +32,7 @@ from __future__ import annotations
 import math
 from bisect import bisect_left
 from dataclasses import dataclass, field
+from typing import Mapping
 
 from repro.errors import ConfigurationError
 
@@ -51,6 +60,58 @@ DEFAULT_BUCKETS: tuple[float, ...] = (
 
 #: Linear buckets for ratio-valued observations (PER, occupancy, ...).
 RATIO_BUCKETS: tuple[float, ...] = tuple(round(i * 0.05, 2) for i in range(1, 21))
+
+#: Characters that would make a serialised ``name{k=v}`` key ambiguous.
+_KEY_FORBIDDEN = frozenset('{}",=')
+
+
+def _check_token(token: str, what: str) -> str:
+    token = str(token)
+    if not token or any(c in _KEY_FORBIDDEN for c in token):
+        raise ConfigurationError(
+            f"{what} must be non-empty and free of {{}}\"=, characters, "
+            f"got {token!r}"
+        )
+    return token
+
+
+def label_key(name: str, labels: Mapping[str, object] | None = None) -> str:
+    """Serialise ``(name, labels)`` into the registry's flat key.
+
+    Labels sort by key, so any two call sites naming the same label set
+    produce the same key — snapshots and merges stay deterministic. With
+    no labels the key is the bare name (backwards compatible).
+    """
+    name = _check_token(name, "metric name")
+    if not labels:
+        return name
+    parts = ",".join(
+        f"{_check_token(k, 'label key')}={_check_token(v, 'label value')}"
+        for k, v in sorted(labels.items())
+    )
+    return f"{name}{{{parts}}}"
+
+
+def parse_metric_key(key: str) -> tuple[str, dict[str, str]]:
+    """Invert :func:`label_key`: ``'a{x=1,y=2}'`` -> ``('a', {'x': '1', ...})``.
+
+    Bare names parse to an empty label dict. Raises
+    :class:`~repro.errors.ConfigurationError` on malformed keys.
+    """
+    if "{" not in key:
+        return key, {}
+    name, _, rest = key.partition("{")
+    if not name or not rest.endswith("}"):
+        raise ConfigurationError(f"malformed metric key {key!r}")
+    labels: dict[str, str] = {}
+    body = rest[:-1]
+    if body:
+        for pair in body.split(","):
+            k, sep, v = pair.partition("=")
+            if not sep or not k or not v:
+                raise ConfigurationError(f"malformed metric key {key!r}")
+            labels[k] = v
+    return name, labels
 
 
 @dataclass
@@ -85,8 +146,24 @@ def quantile_from_buckets(
 ) -> float:
     """Estimate the ``q``-quantile from fixed-bucket counts.
 
-    Linear interpolation inside the winning bucket; the overflow bucket
-    (observations above the last bound) reports the observed maximum.
+    The boundary interpolation contract, pinned by tests:
+
+    * an **empty** histogram (all counts zero) returns ``NaN`` for every
+      ``q`` — there is no observation to report;
+    * the winning bucket is the first non-empty bucket whose cumulative
+      count reaches ``q * total``; the estimate interpolates linearly
+      between that bucket's bounds (the lower bound of bucket 0 is the
+      observed minimum);
+    * every interpolated estimate is **clamped into the observed
+      ``[minimum, maximum]`` range** (when those are finite), so a
+      single-bucket histogram or a ``q`` of 0/1 can never report a value
+      outside what was actually observed;
+    * observations above the last bound live in the implicit overflow
+      bucket, which reports the observed maximum.
+
+    The trailing ``return maximum`` is defensive only: with a non-zero
+    total the winning-bucket scan always terminates at the last non-empty
+    bucket (its cumulative count equals ``total >= q * total``).
     """
     if not 0.0 <= q <= 1.0:
         raise ConfigurationError(f"quantile must be in [0, 1], got {q}")
@@ -103,7 +180,12 @@ def quantile_from_buckets(
             lo = buckets[i - 1] if i > 0 else min(minimum, buckets[i])
             hi = buckets[i]
             frac = (target - (cum - count)) / count
-            return lo + (hi - lo) * max(0.0, min(1.0, frac))
+            value = lo + (hi - lo) * max(0.0, min(1.0, frac))
+            if math.isfinite(minimum):
+                value = max(value, minimum)
+            if math.isfinite(maximum):
+                value = min(value, maximum)
+            return value
     return maximum
 
 
@@ -156,7 +238,14 @@ class Histogram:
 
 
 class MetricsRegistry:
-    """Process-local registry of named counters, gauges, and histograms."""
+    """Process-local registry of named counters, gauges, and histograms.
+
+    Every accessor takes an optional ``labels`` mapping; each distinct
+    label combination is an independent metric stored under the
+    :func:`label_key` serialisation, so a labelled registry is just a
+    registry whose keys happen to contain ``{k=v,...}`` suffixes —
+    snapshots, merges, and BENCH artifacts need no schema change.
+    """
 
     def __init__(self) -> None:
         self.counters: dict[str, Counter] = {}
@@ -165,40 +254,68 @@ class MetricsRegistry:
 
     # -- get-or-create accessors ---------------------------------------------------
 
-    def counter(self, name: str) -> Counter:
-        metric = self.counters.get(name)
+    def counter(
+        self, name: str, *, labels: Mapping[str, object] | None = None
+    ) -> Counter:
+        key = label_key(name, labels) if labels else name
+        metric = self.counters.get(key)
         if metric is None:
-            metric = self.counters[name] = Counter()
+            metric = self.counters[key] = Counter()
         return metric
 
-    def gauge(self, name: str) -> Gauge:
-        metric = self.gauges.get(name)
+    def gauge(
+        self, name: str, *, labels: Mapping[str, object] | None = None
+    ) -> Gauge:
+        key = label_key(name, labels) if labels else name
+        metric = self.gauges.get(key)
         if metric is None:
-            metric = self.gauges[name] = Gauge()
+            metric = self.gauges[key] = Gauge()
         return metric
 
     def histogram(
-        self, name: str, *, buckets: tuple[float, ...] | None = None
+        self,
+        name: str,
+        *,
+        buckets: tuple[float, ...] | None = None,
+        labels: Mapping[str, object] | None = None,
     ) -> Histogram:
-        metric = self.histograms.get(name)
+        key = label_key(name, labels) if labels else name
+        metric = self.histograms.get(key)
         if metric is None:
-            metric = self.histograms[name] = Histogram(
+            metric = self.histograms[key] = Histogram(
                 buckets=buckets if buckets is not None else DEFAULT_BUCKETS
             )
         return metric
 
     # -- recording shorthands --------------------------------------------------------
 
-    def inc(self, name: str, amount: float = 1.0) -> None:
-        self.counter(name).inc(amount)
+    def inc(
+        self,
+        name: str,
+        amount: float = 1.0,
+        *,
+        labels: Mapping[str, object] | None = None,
+    ) -> None:
+        self.counter(name, labels=labels).inc(amount)
 
-    def set(self, name: str, value: float) -> None:
-        self.gauge(name).set(value)
+    def set(
+        self,
+        name: str,
+        value: float,
+        *,
+        labels: Mapping[str, object] | None = None,
+    ) -> None:
+        self.gauge(name, labels=labels).set(value)
 
     def observe(
-        self, name: str, value: float, *, buckets: tuple[float, ...] | None = None
+        self,
+        name: str,
+        value: float,
+        *,
+        buckets: tuple[float, ...] | None = None,
+        labels: Mapping[str, object] | None = None,
     ) -> None:
-        self.histogram(name, buckets=buckets).observe(value)
+        self.histogram(name, buckets=buckets, labels=labels).observe(value)
 
     # -- snapshots -------------------------------------------------------------------
 
@@ -246,6 +363,31 @@ class MetricsRegistry:
 METRICS = MetricsRegistry()
 
 
+def drain_labelled_counters(
+    obj: object,
+    prefix: str,
+    labels: Mapping[str, object],
+    *,
+    registry: MetricsRegistry | None = None,
+) -> None:
+    """Flush an object's local instrumentation counters into the registry.
+
+    Duck-typed: ``obj`` exposes ``drain_counters() -> dict[str, float]``
+    (return-and-clear), the way the jammer suite accumulates adversary
+    events without touching the global registry from per-slot hot paths.
+    Each drained ``key`` lands as ``<prefix>.<key>{labels...}``. Objects
+    without the hook (or ``None``) are ignored, so call sites don't need
+    isinstance checks.
+    """
+    drain = getattr(obj, "drain_counters", None)
+    if drain is None:
+        return
+    registry = registry if registry is not None else METRICS
+    for key, value in sorted(drain().items()):
+        if value:
+            registry.inc(f"{prefix}.{key}", value, labels=labels)
+
+
 __all__ = [
     "DEFAULT_BUCKETS",
     "RATIO_BUCKETS",
@@ -254,5 +396,8 @@ __all__ = [
     "Histogram",
     "MetricsRegistry",
     "METRICS",
+    "drain_labelled_counters",
+    "label_key",
+    "parse_metric_key",
     "quantile_from_buckets",
 ]

@@ -62,6 +62,7 @@ from pathlib import Path
 from typing import Any, Iterator, TextIO
 
 from repro.errors import ConfigurationError
+from repro.obs import telemetry as obs_telemetry
 from repro.obs.metrics import METRICS
 from repro.obs.paths import artifact_dir
 
@@ -404,12 +405,17 @@ def _close_at_exit() -> None:
 
 @dataclass(frozen=True)
 class WorkerContext:
-    """Ambient trace context, snapshotted into pool-task payloads."""
+    """Ambient observability context, snapshotted into pool-task payloads.
+
+    ``trace_id`` is empty when only telemetry (not tracing) is active;
+    ``telem_interval`` is 0 when telemetry is off in the parent.
+    """
 
     trace_id: str
     parent: str | None
     sample: float
     origin_pid: int
+    telem_interval: int = 0
 
 
 @dataclass(frozen=True)
@@ -419,18 +425,26 @@ class TracedResult:
     result: Any
     records: tuple[dict, ...]
     metrics: dict
+    telemetry: tuple = ()
 
 
 def worker_context() -> WorkerContext | None:
-    """Snapshot of the current context, or ``None`` when tracing is off."""
+    """Snapshot of the current context, or ``None`` when fully off.
+
+    Returns a context when tracing **or** telemetry is active — either
+    one needs the pool envelope (buffered records / frames plus the
+    worker metrics snapshot) shipped back to the parent.
+    """
     state = _state()
-    if not state.enabled:
+    telem_interval = obs_telemetry.worker_interval()
+    if not state.enabled and telem_interval == 0:
         return None
     return WorkerContext(
-        trace_id=state.trace_id,
-        parent=state.parent,
+        trace_id=state.trace_id if state.enabled else "",
+        parent=state.parent if state.enabled else None,
         sample=state.sample,
         origin_pid=state.pid,
+        telem_interval=telem_interval,
     )
 
 
@@ -440,18 +454,25 @@ def in_origin(ctx: WorkerContext) -> bool:
 
 
 def activate_worker(ctx: WorkerContext) -> None:
-    """Adopt ``ctx`` in a pool worker: buffer records, reset worker metrics."""
+    """Adopt ``ctx`` in a pool worker: buffer records, reset worker metrics.
+
+    An empty ``ctx.trace_id`` (telemetry-only run) leaves tracing off in
+    the worker while still resetting the metrics registry and arming the
+    telemetry frame buffer, so the envelope's metrics snapshot covers
+    exactly this task.
+    """
     global _STATE
     METRICS.reset()
+    obs_telemetry.activate_worker(ctx.telem_interval)
     # Span ids are ``pid.seq``; a worker serving several tasks must keep
     # counting across activations or its spans would collide in the file.
     prev = _state()
     state = _TraceState(
-        enabled=True,
+        enabled=bool(ctx.trace_id),
         pid=os.getpid(),
         trace_id=ctx.trace_id,
         sample=ctx.sample,
-        buffer=[],
+        buffer=[] if ctx.trace_id else None,
         parent=ctx.parent,
     )
     state.seq = prev.seq

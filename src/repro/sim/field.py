@@ -29,8 +29,9 @@ from repro.jamming.adversary import make_field_jammer
 from repro.jamming.jammer import FieldJammerConfig, block_index, channel_blocks
 from repro.net.goodput import AGGREGATE_DRAWS_PER_SLOT, GoodputModel, GoodputReport
 from repro.net.timing import TimingModel
+from repro.obs import telemetry as obs_telemetry
 from repro.obs import trace as obs_trace
-from repro.obs.metrics import METRICS
+from repro.obs.metrics import METRICS, drain_labelled_counters
 from repro.rng import SeedLike, derive, make_rng
 from repro.sim.engine import SlottedSimulation, UniformStream, check_num_slots
 
@@ -176,10 +177,20 @@ class DeceptionAdapter:
         self._blocks = channel_blocks(config.num_channels, jam_width)
         self._rng = make_rng(seed)
         self.active_decoy: int | None = None
+        self._counters: dict[str, float] = {}
+
+    #: Label value engines use when flushing this adapter's counters.
+    scheme = "deception"
 
     @property
     def channel(self) -> int:
         return self.base.channel
+
+    def drain_counters(self) -> dict[str, float]:
+        """Return and clear the decoy-emission counters accumulated so far."""
+        counters = self._counters
+        self._counters = {}
+        return counters
 
     def decide(self, last_state: State) -> tuple[int, int]:
         channel, power_index = self.base.decide(last_state)
@@ -196,10 +207,141 @@ class DeceptionAdapter:
                 self.active_decoy = int(
                     others[int(self._rng.integers(len(others)))]
                 )
+                self._counters["decoys"] = self._counters.get("decoys", 0.0) + 1
+                self._counters["decoy_airtime_s"] = (
+                    self._counters.get("decoy_airtime_s", 0.0)
+                    + self.decoy_airtime_s
+                )
         return channel, power_index
 
     def observe(self, state: State, channel: int, power_index: int) -> None:
         self.base.observe(state, channel, power_index)
+
+
+class FieldWindowRecorder:
+    """Accumulates per-network slot outcomes into telemetry field frames.
+
+    One recorder covers one shard's *own* networks (halo replicas are
+    never recorded — they would double-count). Call :meth:`observe_slot`
+    once per slot with per-network vectors; every ``REPRO_TELEM_INTERVAL``
+    slots the window is emitted as a merge-exact ``field`` frame (see
+    :func:`repro.obs.telemetry.field_frame`): integer outcome counts and
+    per-network float sums, which the reader merges by placement — no
+    cross-shard float accumulation — so the merged series is bit-identical
+    for any shard/worker decomposition.
+
+    Inert when telemetry is off: construction is one env check, and
+    ``observe_slot`` returns after one boolean test.
+    """
+
+    def __init__(
+        self,
+        networks,
+        *,
+        shard: int = 0,
+        labels=None,
+        slot0: int = 0,
+    ) -> None:
+        self.enabled = obs_telemetry.enabled()
+        if not self.enabled:
+            return
+        self._networks = [int(g) for g in networks]
+        self._shard = int(shard)
+        self._labels = dict(labels or {})
+        self._interval = obs_telemetry.interval()
+        self._buckets = np.asarray(obs_telemetry.LATENCY_BUCKETS)
+        self._window = 0
+        self._slot0 = int(slot0)
+        self._reset_window()
+
+    def _reset_window(self) -> None:
+        n = len(self._networks)
+        self._slots = 0
+        self._jammed = np.zeros(n, dtype=np.int64)
+        self._attempts = np.zeros(n, dtype=np.int64)
+        self._delivered = np.zeros(n, dtype=np.int64)
+        self._attempted = np.zeros(n, dtype=np.int64)
+        self._hops = np.zeros(n, dtype=np.int64)
+        self._neg = np.zeros(n, dtype=np.float64)
+        self._tokens: np.ndarray | None = None
+        self._lat = np.zeros(len(self._buckets) + 1, dtype=np.int64)
+        self._lat_min: float | None = None
+        self._lat_max: float | None = None
+
+    def observe_slot(
+        self,
+        *,
+        jammed,
+        attempts,
+        delivered,
+        attempted,
+        hops,
+        negotiation,
+        tokens=None,
+    ) -> None:
+        """Record one slot's per-network outcome vectors (own networks only)."""
+        if not self.enabled:
+            return
+        neg = np.asarray(negotiation, dtype=np.float64)
+        self._jammed += np.asarray(jammed, dtype=np.int64)
+        self._attempts += np.asarray(attempts, dtype=np.int64)
+        self._delivered += np.asarray(delivered, dtype=np.int64)
+        self._attempted += np.asarray(attempted, dtype=np.int64)
+        self._hops += np.asarray(hops, dtype=np.int64)
+        self._neg += neg
+        # side="left" matches the bisect_left binning of Histogram.observe.
+        self._lat += np.bincount(
+            np.searchsorted(self._buckets, neg, side="left"),
+            minlength=len(self._buckets) + 1,
+        )
+        if neg.size:
+            lo, hi = float(neg.min()), float(neg.max())
+            self._lat_min = lo if self._lat_min is None else min(self._lat_min, lo)
+            self._lat_max = hi if self._lat_max is None else max(self._lat_max, hi)
+        if tokens is not None:
+            # Gauge semantics: the window reports the last observed level.
+            self._tokens = np.asarray(tokens, dtype=np.float64)
+        self._slots += 1
+        if self._slots >= self._interval:
+            self.flush()
+
+    def flush(self) -> None:
+        """Emit the current (possibly partial) window; no-op when empty."""
+        if not self.enabled or self._slots == 0:
+            return
+        obs_telemetry.record_frame(
+            obs_telemetry.field_frame(
+                window=self._window,
+                slot0=self._slot0,
+                slots=self._slots,
+                shard=self._shard,
+                labels=self._labels,
+                networks=self._networks,
+                jammed=self._jammed,
+                attempts=self._attempts,
+                delivered=self._delivered,
+                attempted=self._attempted,
+                hops=self._hops,
+                neg_sum=self._neg,
+                lat_counts=self._lat,
+                lat_min=self._lat_min,
+                lat_max=self._lat_max,
+                tokens=self._tokens,
+            )
+        )
+        self._slot0 += self._slots
+        self._window += 1
+        self._reset_window()
+
+
+def field_telemetry_labels(config: FieldConfig, scheme: str | None = None) -> dict:
+    """The label set field engines attach to telemetry frames and counters."""
+    labels = {
+        "adversary": config.jammer.adversary if config.jammer is not None else "none"
+    }
+    if scheme:
+        labels["scheme"] = scheme
+    return labels
 
 
 @dataclass(frozen=True)
@@ -317,6 +459,7 @@ class FieldExperiment(SlottedSimulation[FieldSlotRecord]):
         self._log = SlotLog()
         self._state: State = 1
         self._streak = 1
+        self._telem: FieldWindowRecorder | None = None
         self._stream: UniformStream | None = None
         if config.sampling == "aggregate":
             self._stream = UniformStream(
@@ -496,6 +639,17 @@ class FieldExperiment(SlottedSimulation[FieldSlotRecord]):
         )
         self.adapter.observe(next_state, plan.channel, plan.power_index)
         self._state = next_state
+        if self._telem is not None and self._telem.enabled:
+            tokens = getattr(self.jammer, "duty_tokens", None)
+            self._telem.observe_slot(
+                jammed=[next_state == J],
+                attempts=[plan.jam_attempted],
+                delivered=[report.packets_delivered],
+                attempted=[report.packets_attempted],
+                hops=[plan.hopped],
+                negotiation=[report.negotiation_s],
+                tokens=None if tokens is None else [tokens],
+            )
         return FieldSlotRecord(
             slot=plan.slot_index,
             channel=plan.channel,
@@ -522,8 +676,28 @@ class FieldExperiment(SlottedSimulation[FieldSlotRecord]):
         produced.
         """
         num_slots = check_num_slots(num_slots)
+        if self._telem is None and obs_telemetry.enabled():
+            scheme = getattr(self.adapter, "scheme", None)
+            self._telem = FieldWindowRecorder(
+                (0,),
+                labels=field_telemetry_labels(self.config, scheme),
+                slot0=self._log.slots,
+            )
         baseline = self._log.snapshot()
         records = self.run(num_slots)
+        if self._telem is not None:
+            self._telem.flush()
+        if self.jammer is not None:
+            drain_labelled_counters(
+                self.jammer,
+                "jam",
+                {"adversary": self.config.jammer.adversary, "network": 0},
+            )
+        drain_labelled_counters(
+            self.adapter,
+            "defense",
+            {"scheme": getattr(self.adapter, "scheme", "custom"), "network": 0},
+        )
         goodput = sum(r.packets_delivered for r in records) / len(records)
         utilization = sum(r.utilization for r in records) / len(records)
         return FieldResult(
@@ -540,6 +714,8 @@ __all__ = [
     "StatePolicyAdapter",
     "DQNPolicyAdapter",
     "DeceptionAdapter",
+    "FieldWindowRecorder",
+    "field_telemetry_labels",
     "FieldConfig",
     "FieldSlotPlan",
     "FieldSlotRecord",

@@ -46,8 +46,9 @@ from repro.exec.runner import ParallelRunner, resolve_workers
 from repro.jamming.adversary import make_field_jammer
 from repro.jamming.jammer import FieldJammer
 from repro.net.goodput import AGGREGATE_DRAWS_PER_SLOT, GoodputModel
+from repro.obs import telemetry as obs_telemetry
 from repro.obs import trace as obs_trace
-from repro.obs.metrics import METRICS
+from repro.obs.metrics import METRICS, drain_labelled_counters
 from repro.rng import SeedLike, derive
 from repro.sim.engine import check_num_slots, resolve_field_batch
 from repro.sim.field import (
@@ -57,7 +58,9 @@ from repro.sim.field import (
     FieldExperiment,
     FieldResult,
     FieldSlotRecord,
+    FieldWindowRecorder,
     StatePolicyAdapter,
+    field_telemetry_labels,
 )
 from repro.sim.scenario import SCHEMES, scheme_policy
 
@@ -441,6 +444,53 @@ class _ShardEngine:
             else None
         )
 
+    def _scheme_label(self) -> str:
+        """The ``scheme=`` label value for this grid's telemetry/counters."""
+        factory = self.cfg.adapter_factory
+        if factory is None:
+            return self.cfg.scheme
+        return getattr(factory, "scheme", "custom")
+
+    def _recorder(self, own) -> FieldWindowRecorder | None:
+        """A window recorder over this shard's own networks, or ``None``."""
+        if not obs_telemetry.enabled():
+            return None
+        spec = self.spec
+        return FieldWindowRecorder(
+            [spec.global_indices[int(k)] for k in own],
+            shard=spec.shard_index,
+            labels=field_telemetry_labels(self.fld, self._scheme_label()),
+        )
+
+    def _flush_counters(self, own, jammer_of, adapter_of) -> None:
+        """Drain own networks' adversary/defence counters into labelled metrics.
+
+        Only *own* networks flush — halo replicas run the same jammers but
+        their counters are discarded with the rest of their outputs, so
+        K-shard registries match the 1-shard registry. The ``network``
+        label keeps each count a single-network value (no cross-shard
+        float accumulation), which is what makes the merged labelled
+        registry bit-identical across shard/worker decompositions.
+        """
+        adversary = (
+            self.fld.jammer.adversary if self.fld.jammer is not None else None
+        )
+        scheme = self._scheme_label()
+        spec = self.spec
+        for k in own:
+            g = spec.global_indices[int(k)]
+            if adversary is not None:
+                drain_labelled_counters(
+                    jammer_of(int(k)),
+                    "jam",
+                    {"adversary": adversary, "network": g},
+                )
+            drain_labelled_counters(
+                adapter_of(int(k)),
+                "defense",
+                {"scheme": scheme, "network": g},
+            )
+
     def run(self) -> dict:
         with obs_trace.span(
             "sim/shard",
@@ -475,6 +525,10 @@ class _ShardEngine:
         records: list[list[FieldSlotRecord]] | None = (
             [[] for _ in own] if self.cfg.keep_records else None
         )
+        telem = self._recorder(own)
+        track_tokens = telem is not None and all(
+            hasattr(experiments[local].jammer, "duty_tokens") for local in own
+        )
         duration = fld.tx_slot_duration_s
         for t in range(spec.num_slots):
             plans = [exp.begin_slot(t, t * duration) for exp in experiments]
@@ -493,6 +547,27 @@ class _ShardEngine:
                 util[k] += recs[local].utilization
                 if records is not None:
                     records[k].append(recs[local])
+            if telem is not None:
+                telem.observe_slot(
+                    jammed=[recs[local].state == J for local in own],
+                    attempts=[plans[local].jam_attempted for local in own],
+                    delivered=[recs[local].packets_delivered for local in own],
+                    attempted=[recs[local].packets_attempted for local in own],
+                    hops=[plans[local].hopped for local in own],
+                    negotiation=[recs[local].negotiation_s for local in own],
+                    tokens=(
+                        [experiments[local].jammer.duty_tokens for local in own]
+                        if track_tokens
+                        else None
+                    ),
+                )
+        if telem is not None:
+            telem.flush()
+        self._flush_counters(
+            own,
+            lambda k: experiments[k].jammer,
+            lambda k: experiments[k].adapter,
+        )
         return {
             "own_global": tuple(spec.global_indices[k] for k in own),
             "goodput": delivered / spec.num_slots,
@@ -577,6 +652,12 @@ class _ShardEngine:
         total_reward = np.zeros(n)
         records: list[list[FieldSlotRecord]] | None = (
             [[] for _ in own] if self.cfg.keep_records else None
+        )
+        telem = self._recorder(own)
+        track_tokens = (
+            telem is not None
+            and bank is not None
+            and all(hasattr(j, "duty_tokens") for j in bank.jammers)
         )
 
         for t in range(spec.num_slots):
@@ -714,6 +795,28 @@ class _ShardEngine:
                         )
                     )
 
+            if telem is not None:
+                telem.observe_slot(
+                    jammed=jam_label[own],
+                    attempts=attempted[own],
+                    delivered=dlv[own],
+                    attempted=att[own],
+                    hops=hopped[own],
+                    negotiation=neg_out[own],
+                    tokens=(
+                        [bank.jammers[int(k)].duty_tokens for k in own]
+                        if track_tokens
+                        else None
+                    ),
+                )
+
+        if telem is not None:
+            telem.flush()
+        self._flush_counters(
+            own,
+            (lambda k: bank.jammers[k]) if bank is not None else (lambda k: None),
+            lambda k: adapters[k],
+        )
         METRICS.inc("sim.slots", int(n * spec.num_slots))
         METRICS.inc("sim.hops", int(hops.sum()))
         METRICS.inc("sim.pc_slots", int(pc_slots.sum()))

@@ -359,3 +359,105 @@ class TestDispatch:
             ReactiveJammerConfig(detection_probability=2.0)
         with pytest.raises(ConfigurationError):
             FollowerJammerConfig(lag_slots=-1)
+
+
+class TestInstrumentationCounters:
+    """Adversary-event counters drained into the telemetry layer."""
+
+    def _camp(self, jammer, channel=7):
+        t = 0.0
+        while not jammer.is_camping:
+            jammer.attack_profile(t, t + 3.0, channel)
+            t += 3.0
+        return t
+
+    def test_base_sweep_jammer_counts_nothing(self):
+        jammer = FieldJammer(FieldJammerConfig(), seed=0)
+        for k in range(10):
+            jammer.attack_profile(k * 3.0, (k + 1) * 3.0, 7)
+        assert jammer.drain_counters() == {}
+
+    def test_reactive_duty_spend_and_starvation(self):
+        rc = ReactiveJammerConfig(duty_cycle=0.5)
+        jammer = make_field_jammer(
+            FieldJammerConfig(adversary="reactive", reactive=rc), seed=0
+        )
+        for k in range(41):
+            jammer.attack_profile(k * 3.0, (k + 1) * 3.0, 7)
+        counters = jammer.drain_counters()
+        assert counters["duty_starved"] >= 1
+        assert counters["duty_spent_s"] > 0.0
+        # the token bucket level is exposed for telemetry gauges
+        assert 0.0 <= jammer.duty_tokens <= 3.0
+
+    def test_reactive_lock_and_loss_transitions(self):
+        jammer = make_field_jammer(
+            FieldJammerConfig(adversary="reactive"), seed=4
+        )
+        t = self._camp(jammer, channel=7)
+        assert jammer.drain_counters()["locks"] == 1
+        jammer.attack_profile(t, t + 3.0, 0)  # victim escaped
+        assert jammer.drain_counters()["lock_losses"] == 1
+
+    def test_reactive_decoy_bait_counted(self):
+        rc = ReactiveJammerConfig(transmit_on_sweep=False, victim_rx_dbm=-95.0)
+        jammer = make_field_jammer(
+            FieldJammerConfig(adversary="reactive", reactive=rc), seed=5
+        )
+        for k in range(4):
+            jammer.observe_decoy(5)
+            jammer.attack_profile(k * 3.0, (k + 1) * 3.0, 0)
+        counters = jammer.drain_counters()
+        assert counters["decoy_baits"] >= 1
+        assert counters["locks"] >= 1
+
+    def test_drain_is_destructive_and_survives_reset(self):
+        jammer = make_field_jammer(
+            FieldJammerConfig(adversary="reactive"), seed=4
+        )
+        self._camp(jammer)
+        jammer.reset()  # new episode must not wipe pending counters
+        counters = jammer.drain_counters()
+        assert counters["locks"] >= 1
+        assert jammer.drain_counters() == {}
+
+    def test_follower_lock_transitions(self):
+        fc = FollowerJammerConfig(lag_slots=1)
+        jammer = make_field_jammer(
+            FieldJammerConfig(adversary="follower", follower=fc), seed=0
+        )
+        assert isinstance(jammer, FollowerFieldJammer)
+        for k in range(4):  # victim stays: trail catches it after the lag
+            jammer.attack_profile(k * 3.0, (k + 1) * 3.0, 7)
+        assert jammer.drain_counters()["locks"] == 1
+        jammer.attack_profile(12.0, 15.0, 0)  # hop: stale trail misses
+        assert jammer.drain_counters()["lock_losses"] == 1
+
+    def test_reactive_slot_counters(self):
+        from repro.jamming.adversary import ReactiveSlotJammer
+
+        jammer = ReactiveSlotJammer(
+            MDPConfig(),
+            np.random.default_rng(0),
+            reactive=ReactiveJammerConfig(duty_cycle=0.5),
+        )
+        for _ in range(40):
+            jammer.observe_and_attack(7)
+        counters = jammer.drain_counters()
+        assert counters["locks"] >= 1
+        assert counters["duty_spent_slots"] >= 1
+        assert counters["duty_starved"] >= 1
+
+    def test_follower_slot_counters(self):
+        from repro.jamming.adversary import FollowerSlotJammer
+
+        jammer = FollowerSlotJammer(
+            MDPConfig(),
+            np.random.default_rng(0),
+            follower=FollowerJammerConfig(lag_slots=1),
+        )
+        for _ in range(4):
+            jammer.observe_and_attack(7)
+        assert jammer.drain_counters()["locks"] == 1
+        jammer.observe_and_attack(0)
+        assert jammer.drain_counters()["lock_losses"] == 1

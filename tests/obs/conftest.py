@@ -2,19 +2,24 @@
 
 import pytest
 
-from repro.obs import trace
+from repro.obs import telemetry, trace
 from repro.obs.metrics import METRICS
 
 
 @pytest.fixture(autouse=True)
 def clean_obs_state(monkeypatch):
-    """Isolate trace/metrics globals and the REPRO_* env between tests."""
+    """Isolate trace/telemetry/metrics globals and the REPRO_* env between tests."""
     monkeypatch.delenv(trace.TRACE_ENV, raising=False)
     monkeypatch.delenv(trace.SAMPLE_ENV, raising=False)
+    monkeypatch.delenv(telemetry.TELEM_ENV, raising=False)
+    monkeypatch.delenv(telemetry.TELEM_INTERVAL_ENV, raising=False)
+    monkeypatch.delenv(telemetry.TELEM_WINDOW_ENV, raising=False)
     monkeypatch.delenv("REPRO_PROFILE", raising=False)
     monkeypatch.delenv("REPRO_WORKERS", raising=False)
     trace.reset()
+    telemetry.reset()
     METRICS.reset()
     yield
     trace.reset()
+    telemetry.reset()
     METRICS.reset()

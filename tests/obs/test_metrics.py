@@ -12,6 +12,9 @@ from repro.obs.metrics import (
     Gauge,
     Histogram,
     MetricsRegistry,
+    drain_labelled_counters,
+    label_key,
+    parse_metric_key,
     quantile_from_buckets,
 )
 
@@ -166,3 +169,134 @@ class TestRegistry:
     def test_default_buckets_sorted(self):
         assert list(DEFAULT_BUCKETS) == sorted(DEFAULT_BUCKETS)
         assert list(RATIO_BUCKETS) == sorted(RATIO_BUCKETS)
+
+
+class TestLabels:
+    def test_label_key_sorts_labels(self):
+        assert label_key("jam.locks", {"b": 2, "a": "x"}) == "jam.locks{a=x,b=2}"
+        assert label_key("jam.locks", {"a": "x", "b": 2}) == "jam.locks{a=x,b=2}"
+
+    def test_label_key_bare_name(self):
+        assert label_key("sim.slots") == "sim.slots"
+        assert label_key("sim.slots", {}) == "sim.slots"
+
+    def test_label_key_rejects_forbidden_characters(self):
+        for bad in ("a=b", 'a"b', "a{b", "a,b", ""):
+            with pytest.raises(ConfigurationError):
+                label_key(bad)
+            with pytest.raises(ConfigurationError):
+                label_key("ok", {bad or "k": "v"} if bad else {"": "v"})
+            with pytest.raises(ConfigurationError):
+                label_key("ok", {"k": bad})
+
+    def test_parse_roundtrip(self):
+        key = label_key("defense.decoys", {"scheme": "deception", "network": 3})
+        name, labels = parse_metric_key(key)
+        assert name == "defense.decoys"
+        assert labels == {"network": "3", "scheme": "deception"}
+        assert parse_metric_key("bare") == ("bare", {})
+
+    def test_parse_rejects_malformed(self):
+        for bad in ("a{b", "a{}x", "{x=1}", "a{x}", "a{=1}", "a{x=}"):
+            with pytest.raises(ConfigurationError):
+                parse_metric_key(bad)
+
+    def test_parse_empty_body(self):
+        assert parse_metric_key("a{}") == ("a", {})
+
+    def test_labelled_series_are_independent(self):
+        reg = MetricsRegistry()
+        reg.inc("jam.locks", labels={"adversary": "reactive"})
+        reg.inc("jam.locks", 2, labels={"adversary": "follower"})
+        reg.inc("jam.locks")
+        snap = reg.snapshot()["counters"]
+        assert snap == {
+            "jam.locks": 1.0,
+            "jam.locks{adversary=follower}": 2.0,
+            "jam.locks{adversary=reactive}": 1.0,
+        }
+
+    def test_labelled_gauges_and_histograms(self):
+        reg = MetricsRegistry()
+        reg.set("tokens", 4.0, labels={"network": 7})
+        reg.observe("lat", 0.02, labels={"scheme": "fh"})
+        snap = reg.snapshot()
+        assert snap["gauges"]["tokens{network=7}"] == 4.0
+        assert snap["histograms"]["lat{scheme=fh}"]["count"] == 1
+
+    def test_labelled_merge_adds_per_key(self):
+        worker = MetricsRegistry()
+        worker.inc("jam.hits", 3, labels={"network": 0})
+        worker.inc("jam.hits", 5, labels={"network": 1})
+        parent = MetricsRegistry()
+        parent.inc("jam.hits", 1, labels={"network": 0})
+        parent.merge(worker.snapshot())
+        snap = parent.snapshot()["counters"]
+        assert snap["jam.hits{network=0}"] == 4.0
+        assert snap["jam.hits{network=1}"] == 5.0
+
+
+class TestDrainLabelledCounters:
+    class _Instrumented:
+        def __init__(self):
+            self._c = {"locks": 2.0, "idle": 0.0}
+
+        def drain_counters(self):
+            c, self._c = self._c, {}
+            return c
+
+    def test_drains_into_labelled_keys(self):
+        reg = MetricsRegistry()
+        obj = self._Instrumented()
+        drain_labelled_counters(obj, "jam", {"adversary": "reactive"}, registry=reg)
+        snap = reg.snapshot()["counters"]
+        # zero-valued counters are skipped, non-zero land under prefix+labels
+        assert snap == {"jam.locks{adversary=reactive}": 2.0}
+        # drain is destructive: a second flush adds nothing
+        drain_labelled_counters(obj, "jam", {"adversary": "reactive"}, registry=reg)
+        assert reg.snapshot()["counters"] == snap
+
+    def test_objects_without_hook_ignored(self):
+        reg = MetricsRegistry()
+        drain_labelled_counters(object(), "jam", {"a": "b"}, registry=reg)
+        drain_labelled_counters(None, "jam", {"a": "b"}, registry=reg)
+        assert reg.snapshot()["counters"] == {}
+
+
+class TestQuantileContract:
+    """The boundary interpolation contract documented on quantile_from_buckets."""
+
+    def test_estimates_clamped_into_observed_range(self):
+        # All 10 observations at 0.7 land in the (0.5, 1.0] bucket; naive
+        # interpolation would report values below the observed minimum.
+        counts = [0] * (len(DEFAULT_BUCKETS) + 1)
+        counts[DEFAULT_BUCKETS.index(1.0)] = 10
+        for q in (0.0, 0.25, 0.5, 1.0):
+            value = quantile_from_buckets(
+                DEFAULT_BUCKETS, counts, q, minimum=0.7, maximum=0.7
+            )
+            assert value == 0.7
+
+    def test_q_zero_and_one_stay_in_range(self):
+        reg = MetricsRegistry()
+        for v in (0.002, 0.3, 7.0):
+            reg.observe("x", v)
+        hist = reg.histogram("x")
+        assert hist.quantile(0.0) >= hist.minimum
+        assert hist.quantile(1.0) <= hist.maximum
+
+    def test_overflow_bucket_reports_maximum(self):
+        counts = [0] * (len(DEFAULT_BUCKETS) + 1)
+        counts[-1] = 4  # all observations above the last bound
+        assert (
+            quantile_from_buckets(
+                DEFAULT_BUCKETS, counts, 0.5, minimum=150.0, maximum=320.0
+            )
+            == 320.0
+        )
+
+    def test_first_bucket_lower_bound_is_minimum(self):
+        buckets = (10.0, 20.0)
+        counts = [2, 0, 0]
+        value = quantile_from_buckets(buckets, counts, 0.5, minimum=4.0, maximum=9.0)
+        assert 4.0 <= value <= 9.0

@@ -123,3 +123,56 @@ class TestObsCommand:
         size_before = target.stat().st_size
         assert main(["obs", str(target)]) == 0
         assert target.stat().st_size == size_before
+
+
+class TestObsSubcommands:
+    def _write_telemetry(self, monkeypatch, tmp_path):
+        from repro.obs import telemetry
+
+        target = tmp_path / "TELEM_demo.jsonl"
+        monkeypatch.setenv(telemetry.TELEM_ENV, str(target))
+        telemetry.reset()
+        rec = telemetry.FlightRecorder("dqn", interval=1)
+        rec.tick(reward=1.0)
+        rec.tick(reward=2.0)
+        METRICS.inc("jam.locks", 2, labels={"adversary": "reactive", "network": 0})
+        telemetry.finish_run()
+        return target
+
+    def test_explicit_summary_action(self, monkeypatch, tmp_path, capsys):
+        target = write_demo_trace(monkeypatch, tmp_path)
+        assert main(["obs", "summary", str(target)]) == 0
+        assert "cli/demo" in capsys.readouterr().out
+
+    def test_summary_routes_telemetry_to_dashboard(
+        self, monkeypatch, tmp_path, capsys
+    ):
+        target = self._write_telemetry(monkeypatch, tmp_path)
+        assert main(["obs", str(target)]) == 0  # back-compat spelling
+        out = capsys.readouterr().out
+        assert "telemetry" in out
+        assert "dqn" in out
+
+    def test_export_writes_prom_and_series(self, monkeypatch, tmp_path, capsys):
+        target = self._write_telemetry(monkeypatch, tmp_path)
+        assert main(["obs", "export", str(target)]) == 0
+        out = capsys.readouterr().out
+        assert str(tmp_path / "TELEM_demo.prom") in out
+        assert (tmp_path / "TELEM_demo.prom").read_text().endswith("# EOF\n")
+        assert (tmp_path / "TELEM_demo_series.jsonl").is_file()
+
+    def test_watch_once(self, monkeypatch, tmp_path, capsys):
+        target = self._write_telemetry(monkeypatch, tmp_path)
+        assert main(["obs", "watch", str(target), "--once"]) == 0
+        out = capsys.readouterr().out
+        assert "dqn" in out
+        assert "\x1b[2J" not in out
+
+    def test_obs_never_writes_telemetry(self, monkeypatch, tmp_path):
+        from repro.obs import telemetry
+
+        target = self._write_telemetry(monkeypatch, tmp_path)
+        telemetry.reset()  # fresh-process lazy state, env still set
+        size_before = target.stat().st_size
+        assert main(["obs", str(target)]) == 0
+        assert target.stat().st_size == size_before

@@ -1,0 +1,286 @@
+"""Tests for the windowed telemetry stream (REPRO_TELEM)."""
+
+import json
+import random
+
+import pytest
+
+from repro.errors import ConfigurationError, ReproError
+from repro.obs import telemetry
+from repro.obs.metrics import METRICS
+
+
+def _set_target(monkeypatch, tmp_path, name="t"):
+    path = tmp_path / f"TELEM_{name}.jsonl"
+    monkeypatch.setenv(telemetry.TELEM_ENV, str(path))
+    telemetry.reset()
+    return path
+
+
+def _records(path):
+    return [json.loads(line) for line in path.read_text().splitlines()]
+
+
+class TestTargetResolution:
+    def test_off_by_default(self):
+        assert telemetry.telem_target() is None
+        assert not telemetry.enabled()
+
+    def test_truthy_uses_default_name(self, monkeypatch):
+        monkeypatch.setenv(telemetry.TELEM_ENV, "1")
+        assert telemetry.telem_target().name == "TELEM_run.jsonl"
+
+    def test_name_lands_in_artifact_dir(self, monkeypatch):
+        monkeypatch.setenv(telemetry.TELEM_ENV, "smoke")
+        assert telemetry.telem_target().name == "TELEM_smoke.jsonl"
+
+    def test_path_used_verbatim(self, monkeypatch, tmp_path):
+        target = tmp_path / "x.jsonl"
+        monkeypatch.setenv(telemetry.TELEM_ENV, str(target))
+        assert telemetry.telem_target() == target
+
+    def test_interval_and_window_envs(self, monkeypatch):
+        assert telemetry.telem_interval() == telemetry.DEFAULT_INTERVAL
+        monkeypatch.setenv(telemetry.TELEM_INTERVAL_ENV, "7")
+        monkeypatch.setenv(telemetry.TELEM_WINDOW_ENV, "9")
+        assert telemetry.telem_interval() == 7
+        assert telemetry.telem_window() == 9
+
+    @pytest.mark.parametrize("bad", ["0", "-3", "x"])
+    def test_invalid_interval_rejected(self, monkeypatch, bad):
+        monkeypatch.setenv(telemetry.TELEM_INTERVAL_ENV, bad)
+        with pytest.raises(ConfigurationError):
+            telemetry.telem_interval()
+
+
+class TestLifecycle:
+    def test_record_and_finish(self, monkeypatch, tmp_path):
+        path = _set_target(monkeypatch, tmp_path)
+        assert telemetry.enabled()
+        telemetry.record_frame({"type": "frame", "series": "x", "window": 0})
+        METRICS.inc("sim.slots", 5)
+        out = telemetry.finish_run()
+        assert out == path
+        records = _records(path)
+        assert records[0]["type"] == "header"
+        assert records[0]["interval"] == telemetry.DEFAULT_INTERVAL
+        assert records[1]["series"] == "x"
+        assert records[-1]["type"] == "metrics"
+        assert records[-1]["counters"]["sim.slots"] == 5
+        # finish_run disables until the next reset
+        assert not telemetry.enabled()
+
+    def test_no_frames_no_file(self, monkeypatch, tmp_path):
+        path = _set_target(monkeypatch, tmp_path)
+        assert telemetry.finish_run() is None
+        assert not path.exists()
+
+    def test_disable_overrides_env(self, monkeypatch, tmp_path):
+        _set_target(monkeypatch, tmp_path)
+        telemetry.disable()
+        assert not telemetry.enabled()
+        telemetry.record_frame({"type": "frame"})  # swallowed
+        assert telemetry.finish_run() is None
+
+
+class TestWorkerProtocol:
+    def test_activation_buffers_frames(self, monkeypatch, tmp_path):
+        _set_target(monkeypatch, tmp_path)
+        assert telemetry.worker_interval() == telemetry.DEFAULT_INTERVAL
+        telemetry.activate_worker(5)
+        assert telemetry.enabled()
+        assert telemetry.interval() == 5
+        telemetry.record_frame({"type": "frame", "series": "x", "window": 0})
+        frames = telemetry.drain_worker()
+        assert [f["window"] for f in frames] == [0]
+        assert telemetry.drain_worker() == ()  # drained
+
+    def test_activation_with_zero_disables(self):
+        telemetry.activate_worker(0)
+        assert not telemetry.enabled()
+        assert telemetry.worker_interval() == 0
+
+    def test_reactivation_clears_stale_frames(self):
+        telemetry.activate_worker(5)
+        telemetry.record_frame({"type": "frame", "window": 0})
+        telemetry.activate_worker(5)  # retry / next task
+        assert telemetry.drain_worker() == ()
+
+    def test_absorb_appends_to_parent_sink(self, monkeypatch, tmp_path):
+        path = _set_target(monkeypatch, tmp_path)
+        telemetry.absorb(
+            [{"type": "frame", "series": "x", "window": w} for w in (0, 1)]
+        )
+        telemetry.finish_run()
+        kinds = [r["type"] for r in _records(path)]
+        assert kinds == ["header", "frame", "frame", "metrics"]
+
+
+class TestFlightRecorder:
+    def test_inert_when_disabled(self):
+        rec = telemetry.FlightRecorder("dqn")
+        assert rec.tick(reward=1.0) is None
+        assert rec.flush() is None
+        assert not rec.frames
+
+    def test_windows_sum_ticks(self, monkeypatch, tmp_path):
+        path = _set_target(monkeypatch, tmp_path)
+        rec = telemetry.FlightRecorder("dqn", interval=2, labels={"batch": 3})
+        assert rec.tick(reward=1.0) is None
+        frame = rec.tick(reward=2.0, loss=0.5)
+        assert frame["window"] == 0
+        assert frame["ticks"] == 2
+        assert frame["values"] == {"loss": 0.5, "reward": 3.0}
+        assert frame["labels"] == {"batch": "3"}
+        rec.tick(reward=5.0)
+        partial = rec.flush()
+        assert partial["window"] == 1
+        assert partial["ticks"] == 1
+        telemetry.finish_run()
+        windows = [r["window"] for r in _records(path) if r["type"] == "frame"]
+        assert windows == [0, 1]
+
+    def test_counter_deltas_ride_along(self, monkeypatch, tmp_path):
+        _set_target(monkeypatch, tmp_path)
+        METRICS.inc("link.per_cache_hits", 10)
+        rec = telemetry.FlightRecorder(
+            "dqn", interval=1, counters=("link.per_cache_hits",)
+        )
+        METRICS.inc("link.per_cache_hits", 3)
+        frame = rec.tick(episodes=1)
+        assert frame["values"]["delta.link.per_cache_hits"] == 3.0
+        METRICS.inc("link.per_cache_hits", 2)
+        frame = rec.tick(episodes=1)
+        assert frame["values"]["delta.link.per_cache_hits"] == 2.0
+
+    def test_ring_is_bounded(self, monkeypatch, tmp_path):
+        _set_target(monkeypatch, tmp_path)
+        rec = telemetry.FlightRecorder("dqn", interval=1, ring=3)
+        for i in range(10):
+            rec.tick(v=float(i))
+        assert len(rec.frames) == 3
+        assert [f["window"] for f in rec.frames] == [7, 8, 9]
+
+    def test_interval_validated(self, monkeypatch, tmp_path):
+        _set_target(monkeypatch, tmp_path)
+        with pytest.raises(ConfigurationError):
+            telemetry.FlightRecorder("dqn", interval=0)
+
+
+class TestReadSide:
+    def test_missing_file_rejected(self, tmp_path):
+        with pytest.raises(ReproError):
+            telemetry.load_telemetry(tmp_path / "nope.jsonl")
+
+    def test_empty_file_rejected(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        path.write_text("not json\n")
+        with pytest.raises(ReproError):
+            telemetry.load_telemetry(path)
+
+    def test_malformed_lines_tolerated(self, monkeypatch, tmp_path):
+        path = _set_target(monkeypatch, tmp_path)
+        telemetry.record_frame({"type": "frame", "series": "x", "window": 0})
+        telemetry.finish_run()
+        with path.open("a") as handle:
+            handle.write("garbage\n")
+        doc = telemetry.load_telemetry(path)
+        assert doc.malformed == 1
+        assert doc.header is not None
+        assert doc.metrics is not None
+        assert len(doc.frames) == 1
+
+    def test_is_telemetry_file(self, monkeypatch, tmp_path):
+        path = _set_target(monkeypatch, tmp_path)
+        telemetry.record_frame({"type": "frame", "series": "x", "window": 0})
+        telemetry.finish_run()
+        assert telemetry.is_telemetry_file(path)
+        trace = tmp_path / "RUN_x.jsonl"
+        trace.write_text(json.dumps({"type": "manifest"}) + "\n")
+        assert not telemetry.is_telemetry_file(trace)
+        assert not telemetry.is_telemetry_file(tmp_path / "absent.jsonl")
+
+
+def _shard_frame(window, shard, networks, jammed, **overrides):
+    frame = telemetry.field_frame(
+        window=window,
+        slot0=window * 10,
+        slots=10,
+        shard=shard,
+        labels={"adversary": "reactive"},
+        networks=networks,
+        jammed=jammed,
+        attempts=[j + 1 for j in jammed],
+        delivered=[100 + n for n in networks],
+        attempted=[120 + n for n in networks],
+        hops=[1] * len(networks),
+        neg_sum=[0.5 * (n + 1) for n in networks],
+        lat_counts=[1] * (len(telemetry.LATENCY_BUCKETS) + 1),
+        lat_min=0.01,
+        lat_max=2.0,
+        **overrides,
+    )
+    return frame
+
+
+class TestMergeFrames:
+    def _doc(self, frames, tmp_path):
+        doc = telemetry.TelemetryDoc(path=tmp_path / "t.jsonl")
+        doc.frames = list(frames)
+        return doc
+
+    def test_field_merge_places_by_global_index(self, tmp_path):
+        frames = [
+            _shard_frame(0, 0, [0, 2], [3, 4]),
+            _shard_frame(0, 1, [1, 3], [5, 6]),
+        ]
+        merged = telemetry.merge_frames(self._doc(frames, tmp_path))["field"]
+        assert len(merged) == 1
+        window = merged[0]
+        assert window["networks"] == [0, 1, 2, 3]
+        assert window["jammed"] == [3, 5, 4, 6]
+        assert window["jam_rate"] == (3 + 4 + 5 + 6) / (10 * 4)
+        # latency bucket counts are integer sums across shards
+        assert window["lat_counts"][0] == 2
+
+    def test_field_merge_is_order_independent(self, tmp_path):
+        frames = [
+            _shard_frame(w, s, [2 * s, 2 * s + 1], [w + s, w + 2 * s])
+            for w in range(4)
+            for s in range(3)
+        ]
+        reference = telemetry.merge_frames(self._doc(frames, tmp_path))
+        rng = random.Random(7)
+        for _ in range(5):
+            shuffled = list(frames)
+            rng.shuffle(shuffled)
+            assert (
+                telemetry.merge_frames(self._doc(shuffled, tmp_path)) == reference
+            )
+
+    def test_field_merge_dedupes_retried_shards_last_wins(self, tmp_path):
+        stale = _shard_frame(0, 0, [0, 1], [9, 9])
+        fresh = _shard_frame(0, 0, [0, 1], [1, 2])
+        other = _shard_frame(0, 1, [2], [5])
+        merged = telemetry.merge_frames(
+            self._doc([stale, fresh, other], tmp_path)
+        )["field"]
+        assert merged[0]["jammed"] == [1, 2, 5]
+
+    def test_field_merge_tokens_optional(self, tmp_path):
+        with_tokens = _shard_frame(0, 0, [0], [1], tokens=[0.25])
+        without = _shard_frame(0, 1, [1], [2])
+        merged = telemetry.merge_frames(
+            self._doc([with_tokens, without], tmp_path)
+        )["field"]
+        assert merged[0]["tokens"] == [0.25, 0.0]
+
+    def test_generic_merge_last_wins_by_window(self, tmp_path):
+        frames = [
+            {"type": "frame", "series": "dqn", "window": 1, "values": {"r": 2.0}},
+            {"type": "frame", "series": "dqn", "window": 0, "values": {"r": 9.0}},
+            {"type": "frame", "series": "dqn", "window": 0, "values": {"r": 1.0}},
+        ]
+        merged = telemetry.merge_frames(self._doc(frames, tmp_path))["dqn"]
+        assert [w["window"] for w in merged] == [0, 1]
+        assert merged[0]["values"]["r"] == 1.0

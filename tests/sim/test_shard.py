@@ -303,3 +303,122 @@ class TestAdversaryGrids:
     def test_unknown_scheme_still_rejected(self):
         with pytest.raises(ConfigurationError):
             GridConfig(field=_field_config(), scheme="wishful")
+
+
+class TestTelemetryInvariance:
+    """Telemetry is an observer: zero effect on results, and its merged
+    series/labelled counters are bit-identical for any decomposition."""
+
+    def _telem_grid(self) -> GridConfig:
+        from repro.jamming.jammer import ReactiveJammerConfig
+
+        defaults = paper_defaults()
+        jammer = field_jammer_config(
+            defaults,
+            adversary="reactive",
+            reactive=ReactiveJammerConfig(
+                duty_cycle=0.7, response_latency_s=0.2, decoy_discrimination=0.25
+            ),
+        )
+        return GridConfig(
+            field=FieldConfig(mdp=defaults.mdp, jammer=jammer),
+            num_networks=9,
+            width_m=30.0,
+            height_m=30.0,
+            scheme="deception",
+        )
+
+    def _run_with_telemetry(
+        self, monkeypatch, tmp_path, name, *, shards, workers, env=()
+    ):
+        from repro.obs import telemetry
+        from repro.obs.metrics import METRICS
+
+        path = tmp_path / f"TELEM_{name}.jsonl"
+        monkeypatch.setenv(telemetry.TELEM_ENV, str(path))
+        monkeypatch.setenv(telemetry.TELEM_INTERVAL_ENV, "10")
+        for key, value in env:
+            monkeypatch.setenv(key, value)
+        telemetry.reset()
+        METRICS.reset()
+        try:
+            result = FieldGrid(
+                self._telem_grid(), seed=5, shards=shards, workers=workers
+            ).run(SLOTS)
+            telemetry.finish_run()
+        finally:
+            for key, _ in env:
+                monkeypatch.delenv(key, raising=False)
+            monkeypatch.delenv(telemetry.TELEM_ENV, raising=False)
+            monkeypatch.delenv(telemetry.TELEM_INTERVAL_ENV, raising=False)
+            telemetry.reset()
+            METRICS.reset()
+        doc = telemetry.load_telemetry(path)
+        merged = telemetry.merge_frames(doc)
+        labelled = {
+            k: v
+            for k, v in (doc.metrics or {}).get("counters", {}).items()
+            if k.startswith(("jam.", "defense."))
+        }
+        return result, merged, labelled
+
+    def test_merged_series_invariant_across_decompositions(
+        self, monkeypatch, tmp_path
+    ):
+        base_result, base_series, base_counters = self._run_with_telemetry(
+            monkeypatch, tmp_path, "s1w1", shards=1, workers=1
+        )
+        assert base_series["field"], "no field frames recorded"
+        assert len(base_series["field"]) == SLOTS // 10
+        assert base_counters, "no labelled jam/defense counters flushed"
+        for name, shards, workers in (("s3w1", 3, 1), ("s3w2", 3, 2)):
+            result, series, counters = self._run_with_telemetry(
+                monkeypatch, tmp_path, name, shards=shards, workers=workers
+            )
+            assert np.array_equal(
+                base_result.goodput_pkts_per_slot, result.goodput_pkts_per_slot
+            )
+            assert series == base_series
+            assert counters == base_counters
+
+    def test_engine_bit_identical_with_telemetry_on_or_off(
+        self, monkeypatch, tmp_path
+    ):
+        off = FieldGrid(self._telem_grid(), seed=5, shards=3).run(SLOTS)
+        on, _, _ = self._run_with_telemetry(
+            monkeypatch, tmp_path, "onoff", shards=3, workers=1
+        )
+        assert np.array_equal(off.goodput_pkts_per_slot, on.goodput_pkts_per_slot)
+        assert np.array_equal(off.utilization, on.utilization)
+        assert off.metrics == on.metrics
+
+    def test_fault_retries_do_not_double_count(self, monkeypatch, tmp_path):
+        _, base_series, base_counters = self._run_with_telemetry(
+            monkeypatch, tmp_path, "clean", shards=3, workers=2
+        )
+        _, series, counters = self._run_with_telemetry(
+            monkeypatch,
+            tmp_path,
+            "faulty",
+            shards=3,
+            workers=2,
+            env=(
+                ("REPRO_ON_ERROR", "retry"),
+                ("REPRO_MAX_RETRIES", "4"),
+                ("REPRO_FAULT_RATE", "0.4"),
+                ("REPRO_FAULT_SEED", "11"),
+            ),
+        )
+        assert series == base_series
+        assert counters == base_counters
+
+    def test_frames_carry_duty_tokens_and_labels(self, monkeypatch, tmp_path):
+        _, series, counters = self._run_with_telemetry(
+            monkeypatch, tmp_path, "tok", shards=3, workers=1
+        )
+        window = series["field"][0]
+        assert window["labels"] == {"adversary": "reactive", "scheme": "deception"}
+        assert window["networks"] == list(range(9))
+        assert len(window.get("tokens", ())) == 9
+        # the deception adapter's decoys were flushed per network
+        assert any(k.startswith("defense.decoys{") for k in counters)
