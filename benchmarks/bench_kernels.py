@@ -196,6 +196,41 @@ def test_batched_dqn_stepping():
     assert SPEEDUPS["learn"] > 1.0
 
 
+def test_policy_stack_cache_speedup():
+    """Cached stacked inference vs the per-call restack it replaced.
+
+    ``greedy_policy_actions`` used to rebuild the (N, ...) weight stack on
+    every call — the cost ``sim/shard`` paid once per slot for a DQN
+    fleet. The cold path recreates that by clearing the policy-stack
+    cache before each call; the warm path is the shipped behaviour
+    (version scan + stacked forward only).
+    """
+    from repro.core.vecenv import clear_policy_stack_cache, greedy_policy_actions
+
+    n = 64
+    cfg = DQNConfig(
+        observation_size=15, num_actions=160, hidden_sizes=(64, 64)
+    )
+    agents = [DQNAgent(cfg, seed=derive(s, "train-agent")) for s in range(n)]
+    rng = np.random.default_rng(5)
+    obs = rng.standard_normal((n, cfg.observation_size))
+
+    def cold():
+        clear_policy_stack_cache()
+        return greedy_policy_actions(agents, obs)
+
+    def warm():
+        return greedy_policy_actions(agents, obs)
+
+    np.testing.assert_array_equal(cold(), warm())  # identical decisions
+    cold_s = _timed("kernels.policy_stack.cold", cold, repeats=100)
+    warm()  # repopulate after the final cold clear
+    warm_s = _timed("kernels.policy_stack.warm", warm, repeats=100)
+    SPEEDUPS["policy_stack"] = cold_s / warm_s
+    _write_artifact()
+    assert SPEEDUPS["policy_stack"] > 1.5
+
+
 def test_waveform_trial_speedup():
     from repro.channel.trials import (
         JammerBank,

@@ -55,6 +55,13 @@ from repro.obs import log as obs_log
 from repro.obs import telemetry as obs_telemetry
 from repro.obs import trace as obs_trace
 from repro.phy.emulation import WaveformEmulator
+from repro.serve.batcher import (
+    ADMISSION_MODES,
+    SERVE_ADMISSION_ENV,
+    SERVE_BATCH_ENV,
+    SERVE_DEADLINE_ENV,
+    SERVE_QUEUE_ENV,
+)
 from repro.sim.engine import FIELD_BATCH_ENV
 from repro.sim.scenario import SCHEMES
 from repro.sim.shard import SHARDS_ENV
@@ -674,6 +681,177 @@ def cmd_selfplay(args: argparse.Namespace) -> int:
     return 0
 
 
+def _serve_store(args: argparse.Namespace):
+    """Build the policy fleet a serve/loadgen run answers for.
+
+    ``--artifact`` paths are loaded and cross-validated through
+    ``load_policy_bundle``; otherwise ``--policies`` freshly initialised
+    paper-geometry networks stand in (decision timing is identical —
+    greedy inference does not care whether the weights converged).
+    """
+    from repro.nn.network import mlp
+    from repro.rng import derive
+    from repro.serve import PolicyStore
+
+    if args.artifact:
+        return PolicyStore.from_artifacts(args.artifact)
+    mdp = MDPConfig()
+    networks = [
+        mlp(
+            3 * 5,
+            (48, 48),
+            mdp.num_channels * mdp.num_power_levels,
+            seed=derive(args.seed, f"serve-policy[{i}]"),
+        )
+        for i in range(args.policies)
+    ]
+    return PolicyStore(networks)
+
+
+def cmd_serve(args: argparse.Namespace) -> int:
+    """``repro serve``: batched decision service under closed-loop load.
+
+    Starts an in-process :class:`~repro.serve.server.DecisionServer`,
+    drives it with the seeded asyncio load generator, drains it, and
+    prints throughput plus the latency histogram's p50/p99.
+    """
+    import asyncio
+
+    from repro.obs.metrics import METRICS
+    from repro.serve import DecisionServer, LoadGenConfig, run_server_load
+
+    store = _serve_store(args)
+    config = LoadGenConfig(
+        networks=args.networks,
+        requests_per_network=args.requests,
+        mean_think_time_s=args.think_ms / 1000.0,
+        seed=args.seed,
+    )
+
+    async def run():
+        server = DecisionServer(
+            store,
+            max_batch=args.batch,
+            deadline_ms=args.deadline_ms,
+            queue_limit=args.queue,
+            admission=args.admission,
+        )
+        report = await run_server_load(server, config)
+        await server.stop()
+        return report
+
+    with timing.stage("serve.run"):
+        report = asyncio.run(run())
+    latency = METRICS.histogram("serve.latency_s")
+    batches = METRICS.histogram("serve.batch_size")
+    print(
+        render_table(
+            [
+                "policies",
+                "networks",
+                "decisions",
+                "dec/s",
+                "p50 ms",
+                "p99 ms",
+                "mean batch",
+                "shed",
+                "degraded",
+            ],
+            [
+                [
+                    store.num_policies,
+                    config.networks,
+                    report.decisions,
+                    f"{report.decisions / max(report.duration_s, 1e-9):.0f}",
+                    f"{latency.quantile(0.5) * 1e3:.3f}",
+                    f"{latency.quantile(0.99) * 1e3:.3f}",
+                    f"{batches.mean:.1f}",
+                    report.shed,
+                    report.degraded,
+                ]
+            ],
+            title="decision service (in-process asyncio front-end)",
+        )
+    )
+    return 0
+
+
+def cmd_loadgen(args: argparse.Namespace) -> int:
+    """``repro loadgen``: deterministic virtual-time closed-loop run.
+
+    Drives the synchronous micro-batcher on a virtual clock: one seed
+    yields one request trace, byte for byte, so the printed summary (and
+    the optional ``--out`` JSONL trace) is reproducible anywhere.
+    """
+    from repro.obs.metrics import METRICS
+    from repro.serve import (
+        LoadGenConfig,
+        MicroBatcher,
+        VirtualClock,
+        run_closed_loop,
+    )
+
+    store = _serve_store(args)
+    batcher = MicroBatcher(
+        store,
+        max_batch=args.batch,
+        deadline_ms=args.deadline_ms,
+        queue_limit=args.queue,
+        admission=args.admission,
+        clock=VirtualClock(),
+    )
+    config = LoadGenConfig(
+        networks=args.networks,
+        requests_per_network=args.requests,
+        mean_think_time_s=args.think_ms / 1000.0,
+        seed=args.seed,
+    )
+    with timing.stage("serve.loadgen"):
+        report = run_closed_loop(batcher, config)
+    if args.out:
+        with open(args.out, "w") as handle:
+            for when, network, action in report.trace:
+                handle.write(
+                    json.dumps(
+                        {"t": when, "network": network, "action": action}
+                    )
+                    + "\n"
+                )
+        log.info("trace written", path=args.out, rows=len(report.trace))
+    batches = METRICS.histogram("serve.batch_size")
+    latency = METRICS.histogram("serve.latency_s")
+    print(
+        render_table(
+            [
+                "policies",
+                "networks",
+                "decisions",
+                "virtual s",
+                "p50 ms",
+                "p99 ms",
+                "mean batch",
+                "shed",
+                "degraded",
+            ],
+            [
+                [
+                    store.num_policies,
+                    config.networks,
+                    report.decisions,
+                    f"{report.duration_s:.4f}",
+                    f"{latency.quantile(0.5) * 1e3:.3f}",
+                    f"{latency.quantile(0.99) * 1e3:.3f}",
+                    f"{batches.mean:.1f}",
+                    report.shed,
+                    report.degraded,
+                ]
+            ],
+            title=f"loadgen closed loop (virtual clock, seed {args.seed})",
+        )
+    )
+    return 0
+
+
 def cmd_obs(args: argparse.Namespace) -> int:
     # Imported lazily: the readers are only needed by this command.
     from repro.obs.summary import render_summary
@@ -974,6 +1152,77 @@ def build_parser() -> argparse.ArgumentParser:
         "--save", help="path for the best jammer's .npz parameter artifact"
     )
     p.set_defaults(func=cmd_selfplay)
+
+    def _add_serve_args(p: argparse.ArgumentParser) -> None:
+        p.add_argument(
+            "--networks", type=int, default=64, help="simulated client networks"
+        )
+        p.add_argument(
+            "--requests",
+            type=int,
+            default=32,
+            help="decisions each network asks for (default 32)",
+        )
+        p.add_argument(
+            "--policies",
+            type=int,
+            default=4,
+            help="fresh paper-geometry policies to serve when no artifacts "
+            "are given (default 4)",
+        )
+        p.add_argument(
+            "--artifact",
+            nargs="+",
+            default=None,
+            help=".npz policy artifacts to serve (e.g. from "
+            "'repro selfplay --save'); geometries are cross-validated",
+        )
+        p.add_argument(
+            "--batch",
+            default=None,
+            help=f"max decisions per stacked forward (overrides {SERVE_BATCH_ENV})",
+        )
+        p.add_argument(
+            "--deadline-ms",
+            default=None,
+            help="max time a request waits for batch peers "
+            f"(overrides {SERVE_DEADLINE_ENV})",
+        )
+        p.add_argument(
+            "--queue",
+            default=None,
+            help=f"pending-queue bound (overrides {SERVE_QUEUE_ENV})",
+        )
+        p.add_argument(
+            "--admission",
+            choices=ADMISSION_MODES,
+            default=None,
+            help="what to do when the queue is full "
+            f"(overrides {SERVE_ADMISSION_ENV}; default queue)",
+        )
+        p.add_argument(
+            "--think-ms",
+            type=float,
+            default=0.5,
+            help="mean exponential client think time in ms (default 0.5)",
+        )
+        p.add_argument("--seed", type=int, default=0)
+
+    p = sub.add_parser(
+        "serve",
+        help="run trained policies as an in-process batched decision service",
+    )
+    _add_serve_args(p)
+    p.set_defaults(func=cmd_serve)
+
+    p = sub.add_parser(
+        "loadgen",
+        help="deterministic virtual-time closed-loop load run (same seed, "
+        "same trace)",
+    )
+    _add_serve_args(p)
+    p.add_argument("--out", default=None, help="write the trace as JSONL")
+    p.set_defaults(func=cmd_loadgen)
 
     p = sub.add_parser(
         "bench", help="compare a BENCH_<name>.json against a committed baseline"

@@ -335,6 +335,160 @@ class _StackedMLP:
             agent.optimizer._t = self.adam_t
 
 
+class PolicyStack:
+    """Inference-only stacked mirror of N structurally identical networks.
+
+    Unlike :class:`_StackedMLP` this holds no gradients, target copies, or
+    Adam state — just the stacked online weights — so it is cheap enough
+    to keep alive between calls. Staleness is tracked through each source
+    :class:`~repro.nn.network.Network`'s ``version`` counter:
+    :meth:`refresh` re-copies only the slices whose network mutated since
+    the stack was built.
+
+    When every entry is the *same* network object (a shared deployed
+    policy), the stack keeps live references to its 2-D arrays instead of
+    copying — broadcasting in the forward pass — so it can never go stale.
+    Each stacked slice applies the same IEEE operations as the serial
+    ``network.predict(obs_i)``, so results are bit-identical to scoring
+    one network at a time.
+    """
+
+    def __init__(self, networks: list) -> None:
+        if not networks:
+            raise TrainingError("a PolicyStack needs at least one network")
+        self.networks = list(networks)
+        first = self.networks[0]
+        self.spec: list[str] = []
+        for layer in first.layers:
+            if isinstance(layer, Dense):
+                self.spec.append("dense")
+            elif isinstance(layer, ReLU):
+                self.spec.append("relu")
+            else:
+                raise TrainingError(
+                    f"stacked inference supports Dense/ReLU only, got "
+                    f"{type(layer).__name__}"
+                )
+        self.shared = all(net is first for net in self.networks)
+        self.weights: list[np.ndarray] = []
+        self.biases: list[np.ndarray] = []
+        if self.shared:
+            # Live views of the single network's arrays: every mutation
+            # path writes parameters in place, so these never go stale.
+            for li, kind in enumerate(self.spec):
+                if kind == "dense":
+                    self.weights.append(first.layers[li].weight)
+                    self.biases.append(first.layers[li].bias)
+        else:
+            for net in self.networks[1:]:
+                if len(net.layers) != len(first.layers) or any(
+                    isinstance(a, Dense)
+                    and (
+                        not isinstance(b, Dense)
+                        or a.weight.shape != b.weight.shape
+                    )
+                    for a, b in zip(first.layers, net.layers)
+                ):
+                    raise TrainingError("all agents must share geometry")
+            for li, kind in enumerate(self.spec):
+                if kind == "dense":
+                    self.weights.append(
+                        np.stack([net.layers[li].weight for net in self.networks])
+                    )
+                    self.biases.append(
+                        np.stack([net.layers[li].bias for net in self.networks])
+                    )
+        self._versions = [net.version for net in self.networks]
+
+    @property
+    def num_stacked(self) -> int:
+        return len(self.networks)
+
+    @property
+    def observation_size(self) -> int:
+        return int(self.weights[0].shape[-2])
+
+    @property
+    def num_actions(self) -> int:
+        return int(self.weights[-1].shape[-1])
+
+    def refresh(self) -> int:
+        """Re-copy slices whose source network mutated; returns the count."""
+        if self.shared:
+            return 0
+        stale = 0
+        for i, net in enumerate(self.networks):
+            if net.version == self._versions[i]:
+                continue
+            dense = 0
+            for li, kind in enumerate(self.spec):
+                if kind == "dense":
+                    self.weights[dense][i] = net.layers[li].weight
+                    self.biases[dense][i] = net.layers[li].bias
+                    dense += 1
+            self._versions[i] = net.version
+            stale += 1
+        return stale
+
+    def forward(self, obs: np.ndarray) -> np.ndarray:
+        """Q-values (N, 1, actions) for stacked observations (N, obs)."""
+        out = obs[:, None, :]
+        dense = 0
+        for kind in self.spec:
+            if kind == "dense":
+                if self.shared:
+                    out = np.matmul(out, self.weights[dense]) + self.biases[dense]
+                else:
+                    out = (
+                        np.matmul(out, self.weights[dense])
+                        + self.biases[dense][:, None, :]
+                    )
+                dense += 1
+            else:
+                out = np.where(out > 0, out, 0.0)
+        return out
+
+    def greedy_actions(self, obs: np.ndarray) -> np.ndarray:
+        """Greedy action per row; refreshes stale slices first."""
+        self.refresh()
+        return self.forward(obs).argmax(axis=2)[:, 0]
+
+
+#: Cached stacks keyed on the identity tuple of their source networks. A
+#: cached :class:`PolicyStack` holds strong references to its networks, so
+#: an ``id`` in a live key can never be recycled to a different object.
+_POLICY_STACK_CACHE: dict[tuple[int, ...], PolicyStack] = {}
+
+#: Distinct network tuples kept stacked at once (FIFO eviction beyond this).
+POLICY_STACK_CACHE_LIMIT = 8
+
+
+def get_policy_stack(networks: list) -> PolicyStack:
+    """The cached :class:`PolicyStack` for this exact tuple of networks.
+
+    Repeat calls with the same network objects reuse the stacked arrays
+    (refreshing any slices whose parameters mutated) instead of restacking
+    from scratch — the former per-call rebuild cost of
+    :func:`greedy_policy_actions`.
+    """
+    key = tuple(id(net) for net in networks)
+    stack = _POLICY_STACK_CACHE.get(key)
+    if stack is None or any(
+        a is not b for a, b in zip(stack.networks, networks)
+    ):
+        stack = PolicyStack(networks)
+        if key not in _POLICY_STACK_CACHE:
+            while len(_POLICY_STACK_CACHE) >= POLICY_STACK_CACHE_LIMIT:
+                _POLICY_STACK_CACHE.pop(next(iter(_POLICY_STACK_CACHE)))
+        _POLICY_STACK_CACHE[key] = stack
+    return stack
+
+
+def clear_policy_stack_cache() -> None:
+    """Drop every cached stack (tests and microbenchmarks)."""
+    _POLICY_STACK_CACHE.clear()
+
+
 def greedy_policy_actions(agents: list[DQNAgent], obs: np.ndarray) -> np.ndarray:
     """Greedy actions for N agents from one stacked forward pass.
 
@@ -345,6 +499,10 @@ def greedy_policy_actions(agents: list[DQNAgent], obs: np.ndarray) -> np.ndarray
     acting one agent at a time. When every entry is the *same* agent
     object (a shared deployed policy), its 2-D weights broadcast across
     the stack without copying.
+
+    The stacked weights come from the :func:`get_policy_stack` cache:
+    calling this in a loop (as ``sim/shard`` does every slot) rebuilds
+    nothing, only refreshing slices whose networks trained in between.
     """
     if not agents:
         raise TrainingError("need at least one agent")
@@ -355,28 +513,14 @@ def greedy_policy_actions(agents: list[DQNAgent], obs: np.ndarray) -> np.ndarray
             f"expected observations of shape "
             f"({len(agents)}, {first.config.observation_size}), got {obs.shape}"
         )
-    if all(agent is first for agent in agents):
-        out = obs[:, None, :]
-        for layer in first.online.layers:
-            if isinstance(layer, Dense):
-                out = np.matmul(out, layer.weight) + layer.bias
-            elif isinstance(layer, ReLU):
-                out = np.where(out > 0, out, 0.0)
-            else:
-                raise TrainingError(
-                    f"batched act supports Dense/ReLU only, got "
-                    f"{type(layer).__name__}"
-                )
-        q = out
-    else:
-        for agent in agents[1:]:
-            if (
-                agent.config.observation_size != first.config.observation_size
-                or agent.config.num_actions != first.config.num_actions
-            ):
-                raise TrainingError("all agents must share geometry")
-        q = _StackedMLP(agents).forward_online(obs[:, None, :])
-    return q.argmax(axis=2)[:, 0]
+    for agent in agents[1:]:
+        if (
+            agent.config.observation_size != first.config.observation_size
+            or agent.config.num_actions != first.config.num_actions
+        ):
+            raise TrainingError("all agents must share geometry")
+    stack = get_policy_stack([agent.online for agent in agents])
+    return stack.greedy_actions(obs)
 
 
 def _batched_act(stack: _StackedMLP, agents: list[DQNAgent], obs: np.ndarray) -> np.ndarray:
@@ -658,6 +802,10 @@ __all__ = [
     "DEFAULT_ENV_BATCH",
     "resolve_env_batch",
     "VectorEnv",
+    "PolicyStack",
+    "POLICY_STACK_CACHE_LIMIT",
+    "get_policy_stack",
+    "clear_policy_stack_cache",
     "greedy_policy_actions",
     "train_dqn_batch",
 ]

@@ -11,12 +11,27 @@ from repro.rng import SeedLike, make_rng, spawn
 
 
 class Network:
-    """A sequential stack of layers with train/predict plumbing."""
+    """A sequential stack of layers with train/predict plumbing.
+
+    ``version`` is a monotonically increasing parameter-mutation counter:
+    every library path that rewrites the parameters (``train_step``,
+    ``set_weights``, ``copy_weights_from``, the serialisation loaders)
+    bumps it, so callers holding derived views of the weights — the
+    stacked inference bundles of :mod:`repro.core.vecenv` — can detect
+    staleness with one integer compare instead of rehashing arrays.
+    Code that mutates ``layer.weight``/``layer.bias`` in place directly
+    must call :meth:`mark_mutated` itself.
+    """
 
     def __init__(self, layers: list[Layer]) -> None:
         if not layers:
             raise ConfigurationError("a network needs at least one layer")
         self.layers = list(layers)
+        self.version = 0
+
+    def mark_mutated(self) -> None:
+        """Record an in-place parameter mutation (invalidates cached stacks)."""
+        self.version += 1
 
     # -- inference ---------------------------------------------------------------
 
@@ -69,6 +84,7 @@ class Network:
             grad = grad * mask
         self.backward(grad)
         optimizer.step(self.parameters, self.gradients)
+        self.version += 1
         return value
 
     # -- parameters ---------------------------------------------------------------
@@ -100,6 +116,7 @@ class Network:
                     f"weight shape {w.shape} does not match parameter {p.shape}"
                 )
             p[...] = w
+        self.version += 1
 
     def copy_weights_from(self, other: "Network") -> None:
         """Hard target-network sync."""

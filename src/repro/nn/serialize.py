@@ -9,6 +9,7 @@ manifest, written with :func:`numpy.savez`.
 from __future__ import annotations
 
 import os
+from dataclasses import dataclass
 
 import numpy as np
 
@@ -46,6 +47,7 @@ def unflatten_parameters(network: Network, flat: np.ndarray) -> None:
         chunk = flat[offset : offset + p.size]
         p[...] = chunk.reshape(p.shape).astype(np.float64)
         offset += p.size
+    network.mark_mutated()
 
 
 def save_parameters(network: Network, path: str | os.PathLike) -> None:
@@ -90,14 +92,10 @@ def _manifest_shapes(
     return decoded
 
 
-def load_parameters(network: Network, path: str | os.PathLike) -> None:
-    """Load an artifact written by :func:`save_parameters` into ``network``.
-
-    The saved shape manifest is validated against the target network's
-    per-layer geometry, so an artifact trained on a *different*
-    architecture that happens to share the total parameter count is
-    rejected instead of silently loading scrambled weights.
-    """
+def _read_artifact(
+    path: str | os.PathLike,
+) -> tuple[np.ndarray, list[tuple[int, ...]]]:
+    """Read and validate one artifact: (flat vector, decoded shape manifest)."""
     with np.load(path) as data:
         if "flat" not in data:
             raise ConfigurationError(f"{path} is not a parameter artifact")
@@ -108,19 +106,90 @@ def load_parameters(network: Network, path: str | os.PathLike) -> None:
             )
         flat = data["flat"]
         manifest = _manifest_shapes(data["shapes"], data["ndims"], path)
-        expected = [p.shape for p in network.parameters]
-        if manifest != expected:
-            raise ConfigurationError(
-                f"{os.fspath(path)}: artifact geometry does not match the "
-                f"target network: artifact {manifest} vs network {expected}"
-            )
         total = sum(int(np.prod(shape, dtype=np.int64)) for shape in manifest)
         if total != flat.size:
             raise ConfigurationError(
                 f"{os.fspath(path)}: artifact is corrupted — manifest "
                 f"describes {total} floats but the flat vector holds {flat.size}"
             )
-        unflatten_parameters(network, flat)
+        return flat, manifest
+
+
+def load_parameters(network: Network, path: str | os.PathLike) -> None:
+    """Load an artifact written by :func:`save_parameters` into ``network``.
+
+    The saved shape manifest is validated against the target network's
+    per-layer geometry, so an artifact trained on a *different*
+    architecture that happens to share the total parameter count is
+    rejected instead of silently loading scrambled weights.
+    """
+    flat, manifest = _read_artifact(path)
+    expected = [p.shape for p in network.parameters]
+    if manifest != expected:
+        raise ConfigurationError(
+            f"{os.fspath(path)}: artifact geometry does not match the "
+            f"target network: artifact {manifest} vs network {expected}"
+        )
+    unflatten_parameters(network, flat)
+
+
+@dataclass(frozen=True)
+class PolicyBundle:
+    """A set of policy artifacts validated to share one geometry.
+
+    ``shapes`` is the per-parameter shape manifest common to every
+    artifact; ``flats`` holds one float32 parameter vector per path, in
+    the order the paths were given.
+    """
+
+    paths: tuple[str, ...]
+    shapes: tuple[tuple[int, ...], ...]
+    flats: tuple[np.ndarray, ...]
+
+    def __len__(self) -> int:
+        return len(self.flats)
+
+    def load_into(self, index: int, network: Network) -> None:
+        """Load bundle entry ``index`` into ``network`` (shapes must match)."""
+        expected = [p.shape for p in network.parameters]
+        if list(self.shapes) != expected:
+            raise ConfigurationError(
+                f"{self.paths[index]}: bundle geometry does not match the "
+                f"target network: bundle {list(self.shapes)} vs network {expected}"
+            )
+        unflatten_parameters(network, self.flats[index])
+
+
+def load_policy_bundle(paths: list[str | os.PathLike]) -> PolicyBundle:
+    """Load several policy artifacts, validating they share one geometry.
+
+    Every artifact's shape manifest is compared against the first's
+    *before* anything is stacked, so a mismatched policy fails fast with
+    a :class:`ConfigurationError` naming the offending path instead of a
+    shape error deep inside a stacked forward pass.
+    """
+    if not paths:
+        raise ConfigurationError("load_policy_bundle needs at least one path")
+    flats: list[np.ndarray] = []
+    reference: list[tuple[int, ...]] | None = None
+    reference_path = ""
+    for path in paths:
+        flat, manifest = _read_artifact(path)
+        if reference is None:
+            reference = manifest
+            reference_path = os.fspath(path)
+        elif manifest != reference:
+            raise ConfigurationError(
+                f"{os.fspath(path)}: artifact geometry {manifest} does not "
+                f"match the bundle geometry {reference} set by {reference_path}"
+            )
+        flats.append(flat)
+    assert reference is not None
+    return PolicyBundle(
+        paths=tuple(os.fspath(p) for p in paths),
+        shapes=tuple(reference),
+        flats=tuple(flats),
+    )
 
 
 __all__ = [
@@ -130,4 +199,6 @@ __all__ = [
     "unflatten_parameters",
     "save_parameters",
     "load_parameters",
+    "PolicyBundle",
+    "load_policy_bundle",
 ]

@@ -217,6 +217,29 @@ class Histogram:
         self.minimum = min(self.minimum, value)
         self.maximum = max(self.maximum, value)
 
+    def observe_many(self, values) -> None:
+        """Fold a whole array of samples in at once.
+
+        One vectorised ``searchsorted`` instead of a Python-level
+        ``observe`` per sample — the serving layer records a latency per
+        decision, so hot paths fold each batch in with a single call.
+        Bucket placement matches :meth:`observe` exactly
+        (``bisect_left`` == ``searchsorted(side="left")``).
+        """
+        import numpy as np
+
+        values = np.asarray(values, dtype=np.float64).reshape(-1)
+        values = values[~np.isnan(values)]
+        if values.size == 0:
+            return
+        slots = np.searchsorted(self.buckets, values, side="left")
+        for slot, count in zip(*np.unique(slots, return_counts=True)):
+            self.counts[int(slot)] += int(count)
+        self.count += int(values.size)
+        self.total += float(values.sum())
+        self.minimum = min(self.minimum, float(values.min()))
+        self.maximum = max(self.maximum, float(values.max()))
+
     @property
     def mean(self) -> float:
         return self.total / self.count if self.count else float("nan")
@@ -316,6 +339,18 @@ class MetricsRegistry:
         labels: Mapping[str, object] | None = None,
     ) -> None:
         self.histogram(name, buckets=buckets, labels=labels).observe(value)
+
+    def observe_many(
+        self,
+        name: str,
+        values,
+        *,
+        buckets: tuple[float, ...] | None = None,
+        labels: Mapping[str, object] | None = None,
+    ) -> None:
+        self.histogram(name, buckets=buckets, labels=labels).observe_many(
+            values
+        )
 
     # -- snapshots -------------------------------------------------------------------
 

@@ -1,0 +1,78 @@
+"""Serving layer: trained policies as a high-throughput decision service.
+
+The paper's defense loop is latency-bound — Fig. 9 budgets ~9 ms per DQN
+decision plus 13.1 ms of polling — and a deployed controller answers for
+a whole fleet of victim networks at once. This package runs trained
+policies behind a micro-batching front-end:
+
+* :class:`~repro.serve.store.PolicyStore` — P homogeneous policies
+  (loaded from ``save_parameters`` artifacts or live agents) behind one
+  cached stacked-inference handle; batched answers are bit-identical to
+  per-request greedy actions.
+* :class:`~repro.serve.batcher.MicroBatcher` — synchronous
+  size-or-deadline batching (``REPRO_SERVE_BATCH``,
+  ``REPRO_SERVE_DEADLINE_MS``) with queue/shed/degrade admission
+  control (``REPRO_SERVE_QUEUE``, ``REPRO_SERVE_ADMISSION``),
+  deterministic under a :class:`~repro.serve.clock.VirtualClock`.
+* :class:`~repro.serve.server.DecisionServer` — the asyncio front-end:
+  bounded queues, deadline timers, graceful drain.
+* :mod:`~repro.serve.loadgen` — a seeded closed-loop load generator
+  driving either front-end (same seed, same request trace).
+"""
+
+from repro.serve.batcher import (
+    ADMISSION_MODES,
+    DEFAULT_SERVE_ADMISSION,
+    DEFAULT_SERVE_BATCH,
+    DEFAULT_SERVE_DEADLINE_MS,
+    DEFAULT_SERVE_QUEUE,
+    SERVE_ADMISSION_ENV,
+    SERVE_BATCH_ENV,
+    SERVE_DEADLINE_ENV,
+    SERVE_QUEUE_ENV,
+    Decision,
+    DecisionRequest,
+    MicroBatcher,
+    ShedDecision,
+    resolve_serve_admission,
+    resolve_serve_batch,
+    resolve_serve_deadline_ms,
+    resolve_serve_queue,
+)
+from repro.serve.clock import MonotonicClock, VirtualClock
+from repro.serve.loadgen import (
+    LoadGenConfig,
+    LoadReport,
+    run_closed_loop,
+    run_server_load,
+)
+from repro.serve.server import DecisionServer
+from repro.serve.store import PolicyStore
+
+__all__ = [
+    "ADMISSION_MODES",
+    "DEFAULT_SERVE_ADMISSION",
+    "DEFAULT_SERVE_BATCH",
+    "DEFAULT_SERVE_DEADLINE_MS",
+    "DEFAULT_SERVE_QUEUE",
+    "SERVE_ADMISSION_ENV",
+    "SERVE_BATCH_ENV",
+    "SERVE_DEADLINE_ENV",
+    "SERVE_QUEUE_ENV",
+    "Decision",
+    "DecisionRequest",
+    "DecisionServer",
+    "LoadGenConfig",
+    "LoadReport",
+    "MicroBatcher",
+    "MonotonicClock",
+    "PolicyStore",
+    "ShedDecision",
+    "VirtualClock",
+    "resolve_serve_admission",
+    "resolve_serve_batch",
+    "resolve_serve_deadline_ms",
+    "resolve_serve_queue",
+    "run_closed_loop",
+    "run_server_load",
+]

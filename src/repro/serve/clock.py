@@ -1,0 +1,55 @@
+"""Clock abstraction for the serving layer.
+
+The micro-batching scheduler makes every timing decision — deadlines,
+latency measurements, admission — through a clock object, so the same
+code runs against the wall clock in production and against a
+:class:`VirtualClock` in tests and benchmarks, where time only moves when
+the harness says so. That is what makes the batcher deterministic: with a
+seeded load generator driving a virtual clock, every flush happens at an
+exactly reproducible instant.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.errors import ConfigurationError
+
+
+class MonotonicClock:
+    """Wall time via :func:`time.monotonic` (the production clock)."""
+
+    def now(self) -> float:
+        return time.monotonic()
+
+
+class VirtualClock:
+    """A clock that only moves when told to (deterministic tests/benches)."""
+
+    def __init__(self, start: float = 0.0) -> None:
+        self._now = float(start)
+
+    def now(self) -> float:
+        return self._now
+
+    def advance(self, seconds: float) -> float:
+        """Move time forward by ``seconds``; returns the new time."""
+        if seconds < 0:
+            raise ConfigurationError(
+                f"a virtual clock cannot run backwards (advance {seconds})"
+            )
+        self._now += float(seconds)
+        return self._now
+
+    def set(self, instant: float) -> float:
+        """Jump to an absolute ``instant`` (must not be in the past)."""
+        if instant < self._now:
+            raise ConfigurationError(
+                f"a virtual clock cannot run backwards "
+                f"(set {instant} < now {self._now})"
+            )
+        self._now = float(instant)
+        return self._now
+
+
+__all__ = ["MonotonicClock", "VirtualClock"]

@@ -1,0 +1,225 @@
+"""Policy storage and stacked inference for the decision service.
+
+A :class:`PolicyStore` holds P trained policy networks validated to share
+one geometry and answers "which action for this observation?" two ways:
+
+* :meth:`decide_serial` — one ``network.predict`` per request, the
+  reference path every batched answer must match bit-for-bit.
+* :meth:`decide_batch` — one stacked forward for B requests that may
+  reference any mix of the P policies. Per-request weight slices are
+  gathered into ``(B, in, out)`` tensors so each slice applies exactly
+  the 2-D operations of the serial path (a single shared policy
+  broadcasts its 2-D weights instead of copying).
+
+Stacking is built once on a :class:`repro.core.vecenv.PolicyStack` and
+reused across calls; slices refresh automatically when a source network's
+parameters mutate (tracked through ``Network.version``).
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+
+from repro.core.dqn import DQNAgent
+from repro.core.vecenv import PolicyStack
+from repro.errors import ConfigurationError
+from repro.nn.network import Network, mlp
+from repro.nn.serialize import PolicyBundle, load_policy_bundle
+
+
+def _bundle_geometry(
+    bundle: PolicyBundle,
+) -> tuple[int, tuple[int, ...], int]:
+    """Infer (input, hiddens, output) MLP sizes from a bundle manifest.
+
+    Artifacts written by :func:`repro.nn.serialize.save_parameters` for
+    the paper's MLP carry alternating ``(in, out)`` weight and ``(out,)``
+    bias shapes; anything else is not a loadable policy.
+    """
+    shapes = bundle.shapes
+    path = bundle.paths[0]
+    if len(shapes) < 4 or len(shapes) % 2 != 0:
+        raise ConfigurationError(
+            f"{path}: artifact does not describe an MLP policy "
+            f"(expected alternating weight/bias shapes, got {list(shapes)})"
+        )
+    sizes: list[int] = []
+    for i in range(0, len(shapes), 2):
+        w, b = shapes[i], shapes[i + 1]
+        if len(w) != 2 or len(b) != 1 or b[0] != w[1]:
+            raise ConfigurationError(
+                f"{path}: artifact does not describe an MLP policy "
+                f"(layer {i // 2} has weight {w} and bias {b})"
+            )
+        if sizes and sizes[-1] != w[0]:
+            raise ConfigurationError(
+                f"{path}: artifact layers do not chain "
+                f"(layer {i // 2} expects {w[0]} inputs after {sizes[-1]})"
+            )
+        if not sizes:
+            sizes.append(int(w[0]))
+        sizes.append(int(w[1]))
+    return sizes[0], tuple(sizes[1:-1]), sizes[-1]
+
+
+class PolicyStore:
+    """P homogeneous policy networks behind one stacked inference handle."""
+
+    def __init__(
+        self, networks: list[Network], *, names: list[str] | None = None
+    ) -> None:
+        if not networks:
+            raise ConfigurationError("a PolicyStore needs at least one policy")
+        self.names = (
+            list(names)
+            if names is not None
+            else [f"policy[{i}]" for i in range(len(networks))]
+        )
+        if len(self.names) != len(networks):
+            raise ConfigurationError(
+                f"{len(networks)} networks but {len(self.names)} names"
+            )
+        first = networks[0]
+        reference = [p.shape for p in first.parameters]
+        for name, net in zip(self.names[1:], networks[1:]):
+            shapes = [p.shape for p in net.parameters]
+            if shapes != reference:
+                raise ConfigurationError(
+                    f"{name}: policy geometry {shapes} does not match "
+                    f"{self.names[0]} geometry {reference}"
+                )
+        self.networks = list(networks)
+        self._stack = PolicyStack(self.networks)
+
+    # -- constructors ----------------------------------------------------------
+
+    @classmethod
+    def from_artifacts(
+        cls, paths: list[str | os.PathLike]
+    ) -> "PolicyStore":
+        """Load artifacts saved by ``nn.serialize.save_parameters``.
+
+        Geometry is cross-validated by
+        :func:`~repro.nn.serialize.load_policy_bundle` before anything is
+        stacked, so a mismatched artifact fails fast with its path.
+        """
+        bundle = load_policy_bundle(paths)
+        input_size, hiddens, output_size = _bundle_geometry(bundle)
+        networks = []
+        for i in range(len(bundle)):
+            net = mlp(input_size, hiddens, output_size, seed=0)
+            bundle.load_into(i, net)
+            networks.append(net)
+        return cls(networks, names=list(bundle.paths))
+
+    @classmethod
+    def from_agents(cls, agents: list[DQNAgent]) -> "PolicyStore":
+        """Serve the online networks of trained agents (greedy deployment)."""
+        return cls([agent.online for agent in agents])
+
+    # -- geometry --------------------------------------------------------------
+
+    @property
+    def num_policies(self) -> int:
+        return len(self.networks)
+
+    @property
+    def observation_size(self) -> int:
+        return self._stack.observation_size
+
+    @property
+    def num_actions(self) -> int:
+        return self._stack.num_actions
+
+    # -- inference -------------------------------------------------------------
+
+    def _check_policy(self, policy: int) -> int:
+        policy = int(policy)
+        if not 0 <= policy < len(self.networks):
+            raise ConfigurationError(
+                f"policy index {policy} outside store of {len(self.networks)}"
+            )
+        return policy
+
+    def decide_serial(self, policy: int, observation: np.ndarray) -> int:
+        """Reference path: one greedy action from one 2-D forward."""
+        policy = self._check_policy(policy)
+        observation = np.asarray(observation, dtype=np.float64).reshape(-1)
+        if observation.size != self.observation_size:
+            raise ConfigurationError(
+                f"expected {self.observation_size} observation features, "
+                f"got {observation.size}"
+            )
+        q = self.networks[policy].predict(observation)
+        return int(np.argmax(q))
+
+    def decide_batch(
+        self, policies: np.ndarray, observations: np.ndarray
+    ) -> np.ndarray:
+        """Greedy actions for B requests in one stacked forward pass.
+
+        ``policies[i]`` selects the store entry scoring row i of
+        ``observations`` (B, obs). Bit-identical to calling
+        :meth:`decide_serial` per row: the gathered ``(B, 1, in) @
+        (B, in, out)`` matmul applies the serial 2-D operations slice by
+        slice.
+        """
+        policies = np.asarray(policies, dtype=np.intp).reshape(-1)
+        observations = np.asarray(observations, dtype=np.float64)
+        if observations.ndim != 2 or observations.shape != (
+            policies.size,
+            self.observation_size,
+        ):
+            raise ConfigurationError(
+                f"expected observations of shape "
+                f"({policies.size}, {self.observation_size}), "
+                f"got {observations.shape}"
+            )
+        if policies.size and (
+            policies.min() < 0 or policies.max() >= len(self.networks)
+        ):
+            raise ConfigurationError(
+                f"policy indices must lie in [0, {len(self.networks)}), "
+                f"got range [{policies.min()}, {policies.max()}]"
+            )
+        stack = self._stack
+        stack.refresh()
+        if stack.shared:
+            # One policy: its live 2-D weights broadcast over the batch.
+            return self._forward_2d(
+                observations, stack.weights, stack.biases
+            ).argmax(axis=2)[:, 0]
+        # Group rows by policy and broadcast each policy's 2-D weight
+        # views over its group — no per-request weight gather (which would
+        # copy megabytes of parameters per flush), and still bit-identical:
+        # every (1, in) @ (in, out) slice is the serial operation.
+        actions = np.empty(policies.size, dtype=np.int64)
+        for policy in np.unique(policies):
+            rows = np.flatnonzero(policies == policy)
+            weights = [w[policy] for w in stack.weights]
+            biases = [b[policy] for b in stack.biases]
+            q = self._forward_2d(observations[rows], weights, biases)
+            actions[rows] = q.argmax(axis=2)[:, 0]
+        return actions
+
+    def _forward_2d(
+        self,
+        observations: np.ndarray,
+        weights: list[np.ndarray],
+        biases: list[np.ndarray],
+    ) -> np.ndarray:
+        """(B, 1, in) @ (in, out) broadcast forward over one policy's weights."""
+        out = observations[:, None, :]
+        dense = 0
+        for kind in self._stack.spec:
+            if kind == "dense":
+                out = np.matmul(out, weights[dense]) + biases[dense]
+                dense += 1
+            else:
+                out = np.where(out > 0, out, 0.0)
+        return out
+
+
+__all__ = ["PolicyStore"]

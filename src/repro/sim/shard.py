@@ -617,6 +617,10 @@ class _ShardEngine:
             for a in adapters
         )
         all_dqn = all(isinstance(a, DQNPolicyAdapter) for a in adapters)
+        # Hoisted once: the same agent list every slot keeps the stacked
+        # weights hot in the vecenv policy-stack cache instead of
+        # restacking them per slot.
+        dqn_agents = [a.agent for a in adapters] if all_dqn else None
         hop_table = power_table = None
         if tabled:
             # Probe each (stateless) policy once per reachable state.
@@ -673,9 +677,7 @@ class _ShardEngine:
                     channels[k] = adapters[k].hop()
             elif all_dqn:
                 obs = np.stack([a.observation() for a in adapters])
-                actions = greedy_policy_actions(
-                    [a.agent for a in adapters], obs
-                )
+                actions = greedy_policy_actions(dqn_agents, obs)
                 powers = np.empty(n, dtype=np.intp)
                 for k, adapter in enumerate(adapters):
                     channels[k], powers[k] = adapter.apply(int(actions[k]))

@@ -18,6 +18,9 @@ from repro.core.vecenv import (
     DEFAULT_ENV_BATCH,
     ENV_BATCH_ENV,
     VectorEnv,
+    clear_policy_stack_cache,
+    get_policy_stack,
+    greedy_policy_actions,
     resolve_env_batch,
     train_dqn_batch,
 )
@@ -319,3 +322,128 @@ class TestMultiSeedComposition:
         np.testing.assert_array_equal(
             multi.results[0].reward_history, solo.reward_history
         )
+
+
+class TestPolicyStackCache:
+    """The cached stacked-inference handle behind greedy_policy_actions."""
+
+    def _agents(self, n=5, seed0=0):
+        cfg = tiny_dqn()
+        return [DQNAgent(cfg, seed=seed0 + i) for i in range(n)]
+
+    def _obs(self, agents, seed=0):
+        rng = np.random.default_rng(seed)
+        return rng.random((len(agents), agents[0].config.observation_size))
+
+    def test_greedy_actions_bit_identical_to_serial(self):
+        agents = self._agents()
+        obs = self._obs(agents)
+        batched = greedy_policy_actions(agents, obs)
+        serial = np.array(
+            [a.act(o, greedy=True) for a, o in zip(agents, obs)]
+        )
+        np.testing.assert_array_equal(batched, serial)
+
+    def test_shared_agent_bit_identical_to_serial(self):
+        agent = self._agents(1)[0]
+        agents = [agent] * 7
+        obs = self._obs(agents)
+        batched = greedy_policy_actions(agents, obs)
+        serial = np.array([agent.act(o, greedy=True) for o in obs])
+        np.testing.assert_array_equal(batched, serial)
+
+    def test_repeat_calls_reuse_the_cached_stack(self):
+        clear_policy_stack_cache()
+        agents = self._agents()
+        networks = [a.online for a in agents]
+        first = get_policy_stack(networks)
+        again = get_policy_stack(networks)
+        assert again is first
+
+    def test_distinct_fleets_get_distinct_stacks(self):
+        clear_policy_stack_cache()
+        a = self._agents(3, seed0=0)
+        b = self._agents(3, seed0=10)
+        stack_a = get_policy_stack([x.online for x in a])
+        stack_b = get_policy_stack([x.online for x in b])
+        assert stack_a is not stack_b
+        assert get_policy_stack([x.online for x in a]) is stack_a
+
+    def test_set_weights_invalidates_cached_slice(self):
+        agents = self._agents()
+        obs = self._obs(agents)
+        greedy_policy_actions(agents, obs)  # populate the cache
+        donor = DQNAgent(agents[0].config, seed=99)
+        agents[2].online.set_weights(donor.online.get_weights())
+        batched = greedy_policy_actions(agents, obs)
+        serial = np.array(
+            [a.act(o, greedy=True) for a, o in zip(agents, obs)]
+        )
+        np.testing.assert_array_equal(batched, serial)
+
+    def test_train_step_invalidates_cached_slice(self):
+        from repro.nn.losses import MeanSquaredError
+        from repro.nn.network import mlp
+        from repro.nn.optimizers import Adam
+
+        clear_policy_stack_cache()
+        nets = [mlp(4, (8,), 3, seed=i) for i in range(3)]
+        stack = get_policy_stack(nets)
+        x = np.linspace(-1.0, 1.0, 4)
+        before = stack.greedy_actions(np.tile(x, (3, 1)))
+        opt = Adam(learning_rate=0.5)
+        for _ in range(5):
+            nets[1].train_step(
+                x[None, :], np.array([[5.0, -5.0, 0.0]]), MeanSquaredError(), opt
+            )
+        after = get_policy_stack(nets).greedy_actions(np.tile(x, (3, 1)))
+        expected = np.array([int(np.argmax(net.predict(x))) for net in nets])
+        np.testing.assert_array_equal(after, expected)
+        del before
+
+    def test_unflatten_parameters_invalidates(self):
+        from repro.nn.network import mlp
+        from repro.nn.serialize import flatten_parameters, unflatten_parameters
+
+        nets = [mlp(4, (8,), 3, seed=i) for i in range(2)]
+        stack = get_policy_stack(nets)
+        x = np.tile(np.linspace(0.0, 1.0, 4), (2, 1))
+        stack.greedy_actions(x)
+        unflatten_parameters(nets[0], flatten_parameters(mlp(4, (8,), 3, seed=7)))
+        after = get_policy_stack(nets).greedy_actions(x)
+        expected = np.array([int(np.argmax(net.predict(row))) for net, row in zip(nets, x)])
+        np.testing.assert_array_equal(after, expected)
+
+    def test_mark_mutated_refreshes_in_place_edits(self):
+        from repro.nn.network import mlp
+
+        nets = [mlp(4, (8,), 3, seed=i) for i in range(2)]
+        stack = get_policy_stack(nets)
+        x = np.tile(np.linspace(0.0, 1.0, 4), (2, 1))
+        stack.greedy_actions(x)
+        nets[1].layers[-1].bias[...] = np.array([100.0, 0.0, -100.0])
+        nets[1].mark_mutated()
+        after = stack.greedy_actions(x)
+        assert after[1] == 0
+
+    def test_cache_eviction_respects_limit(self):
+        from repro.core.vecenv import POLICY_STACK_CACHE_LIMIT, _POLICY_STACK_CACHE
+        from repro.nn.network import mlp
+
+        clear_policy_stack_cache()
+        fleets = [
+            [mlp(3, (4,), 2, seed=i * 10 + j) for j in range(2)]
+            for i in range(POLICY_STACK_CACHE_LIMIT + 3)
+        ]
+        for fleet in fleets:
+            get_policy_stack(fleet)
+        assert len(_POLICY_STACK_CACHE) <= POLICY_STACK_CACHE_LIMIT
+
+    def test_geometry_mismatch_still_raises(self):
+        agents = self._agents(2)
+        other = DQNAgent(tiny_dqn(env_actions=10), seed=5)
+        with pytest.raises(TrainingError, match="share geometry"):
+            greedy_policy_actions(
+                [agents[0], other],
+                np.zeros((2, agents[0].config.observation_size)),
+            )

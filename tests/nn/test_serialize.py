@@ -127,3 +127,79 @@ class TestManifestValidation:
         np.savez(path, flat=flat, shapes=shapes[:-1], ndims=ndims)
         with pytest.raises(ConfigurationError, match="corrupted"):
             load_parameters(net, path)
+
+
+class TestPolicyBundle:
+    """load_policy_bundle: cross-artifact geometry validation before stacking."""
+
+    def _save(self, tmp_path, name, net):
+        path = tmp_path / name
+        save_parameters(net, path)
+        return path
+
+    def test_bundle_roundtrip(self, tmp_path):
+        from repro.nn.serialize import load_policy_bundle
+
+        nets = [mlp(6, (8,), 4, seed=i) for i in range(3)]
+        paths = [self._save(tmp_path, f"p{i}.npz", n) for i, n in enumerate(nets)]
+        bundle = load_policy_bundle(paths)
+        assert len(bundle) == 3
+        assert bundle.shapes == tuple(p.shape for p in nets[0].parameters)
+        for i, net in enumerate(nets):
+            np.testing.assert_array_equal(
+                bundle.flats[i], flatten_parameters(net)
+            )
+            target = mlp(6, (8,), 4, seed=99)
+            bundle.load_into(i, target)
+            probe = np.linspace(-1, 1, 6)
+            # float32 artifact round-trip, same as load_parameters
+            np.testing.assert_array_equal(
+                target.predict(probe),
+                _roundtrip(net).predict(probe),
+            )
+
+    def test_mismatched_artifact_names_offending_path(self, tmp_path):
+        from repro.nn.serialize import load_policy_bundle
+
+        good = [self._save(tmp_path, f"g{i}.npz", mlp(6, (8,), 4, seed=i)) for i in range(2)]
+        bad = self._save(tmp_path, "odd-one.npz", mlp(6, (9,), 4, seed=0))
+        with pytest.raises(ConfigurationError, match="odd-one"):
+            load_policy_bundle([*good, bad])
+
+    def test_empty_bundle_rejected(self):
+        from repro.nn.serialize import load_policy_bundle
+
+        with pytest.raises(ConfigurationError, match="at least one"):
+            load_policy_bundle([])
+
+    def test_corrupted_member_rejected(self, tmp_path):
+        from repro.nn.serialize import load_policy_bundle
+
+        path = self._save(tmp_path, "ok.npz", mlp(6, (8,), 4, seed=0))
+        broken = tmp_path / "broken.npz"
+        with np.load(path) as data:
+            np.savez(
+                broken,
+                flat=data["flat"][:-3],
+                shapes=data["shapes"],
+                ndims=data["ndims"],
+            )
+        with pytest.raises(ConfigurationError, match="corrupted"):
+            load_policy_bundle([path, broken])
+
+    def test_load_into_wrong_network_rejected(self, tmp_path):
+        from repro.nn.serialize import load_policy_bundle
+
+        path = self._save(tmp_path, "p.npz", mlp(6, (8,), 4, seed=0))
+        bundle = load_policy_bundle([path])
+        with pytest.raises(ConfigurationError, match="does not match"):
+            bundle.load_into(0, mlp(6, (10,), 4, seed=0))
+
+
+def _roundtrip(net):
+    """A copy of ``net`` whose weights went through the float32 artifact."""
+    from repro.nn.serialize import unflatten_parameters
+
+    clone = net.clone()
+    unflatten_parameters(clone, flatten_parameters(net))
+    return clone

@@ -87,6 +87,25 @@ class TestHistogram:
         doc = Histogram().as_dict()
         assert doc["min"] is None and doc["max"] is None
 
+    def test_observe_many_matches_observe(self):
+        values = [0.5, 1.0, 1.5, 3.0, 100.0, float("nan"), 2.0]
+        one = Histogram(buckets=(1.0, 2.0, 4.0))
+        for v in values:
+            one.observe(v)
+        many = Histogram(buckets=(1.0, 2.0, 4.0))
+        many.observe_many(values)
+        assert many.counts == one.counts
+        assert many.count == one.count
+        assert many.total == one.total
+        assert many.minimum == one.minimum
+        assert many.maximum == one.maximum
+
+    def test_observe_many_empty_is_noop(self):
+        h = Histogram()
+        h.observe_many([])
+        h.observe_many([float("nan")])
+        assert h.count == 0
+
 
 class TestQuantileFromBuckets:
     def test_empty_counts_is_nan(self):

@@ -1,0 +1,173 @@
+"""DecisionServer: asyncio batching end-to-end, admission, graceful drain."""
+
+import asyncio
+
+import numpy as np
+import pytest
+
+from repro.errors import ExecutionError
+from repro.nn.network import mlp
+from repro.serve import Decision, DecisionServer, PolicyStore, ShedDecision
+
+
+def store_of(policies=2):
+    return PolicyStore([mlp(6, (8,), 5, seed=i) for i in range(policies)])
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+class TestBatchingEndToEnd:
+    def test_concurrent_clients_share_one_batch(self):
+        store = store_of()
+        observations = [
+            np.random.default_rng(i).random(store.observation_size)
+            for i in range(8)
+        ]
+
+        async def main():
+            server = DecisionServer(
+                store, max_batch=8, deadline_ms=1000, queue_limit=64
+            )
+            results = await asyncio.gather(
+                *(
+                    server.decide(i, i % 2, observations[i])
+                    for i in range(8)
+                )
+            )
+            await server.stop()
+            return results
+
+        results = run(main())
+        assert all(isinstance(r, Decision) for r in results)
+        # all eight coalesced into one stacked forward
+        assert {r.batch_size for r in results} == {8}
+        serial = [
+            store.decide_serial(i % 2, observations[i]) for i in range(8)
+        ]
+        assert [r.action for r in results] == serial
+
+    def test_deadline_flushes_partial_batch(self):
+        store = store_of()
+
+        async def main():
+            server = DecisionServer(
+                store, max_batch=64, deadline_ms=5, queue_limit=64
+            )
+            result = await server.decide(
+                0, 0, np.zeros(store.observation_size)
+            )
+            await server.stop()
+            return result
+
+        result = run(main())
+        assert isinstance(result, Decision)
+        assert result.batch_size == 1
+        # the deadline timer, not a full batch, released this decision
+        assert result.latency_s >= 0.004
+
+    def test_stop_drains_pending(self):
+        store = store_of()
+
+        async def main():
+            server = DecisionServer(
+                store, max_batch=64, deadline_ms=10_000, queue_limit=64
+            )
+            task = asyncio.create_task(
+                server.decide(0, 0, np.zeros(store.observation_size))
+            )
+            await asyncio.sleep(0)  # let the request enqueue
+            assert server.pending_depth == 1
+            await server.stop()
+            result = await task
+            with pytest.raises(ExecutionError, match="draining"):
+                await server.decide(1, 0, np.zeros(store.observation_size))
+            return result
+
+        result = run(main())
+        assert isinstance(result, Decision)
+
+
+class TestAdmission:
+    def _fill(self, server, store, n):
+        return [
+            asyncio.create_task(
+                server.decide(i, 0, np.zeros(store.observation_size))
+            )
+            for i in range(n)
+        ]
+
+    def test_shed_when_queue_full(self):
+        store = store_of()
+
+        async def main():
+            server = DecisionServer(
+                store,
+                max_batch=64,
+                deadline_ms=10_000,
+                queue_limit=2,
+                admission="shed",
+            )
+            tasks = self._fill(server, store, 2)
+            await asyncio.sleep(0)
+            shed = await server.decide(
+                9, 0, np.zeros(store.observation_size)
+            )
+            await server.stop()
+            await asyncio.gather(*tasks)
+            return shed
+
+        shed = run(main())
+        assert isinstance(shed, ShedDecision)
+        assert shed.network_id == 9
+
+    def test_degrade_when_queue_full(self):
+        store = store_of()
+        obs = np.random.default_rng(3).random(store.observation_size)
+
+        async def main():
+            server = DecisionServer(
+                store,
+                max_batch=64,
+                deadline_ms=10_000,
+                queue_limit=2,
+                admission="degrade",
+            )
+            tasks = self._fill(server, store, 2)
+            await asyncio.sleep(0)
+            result = await server.decide(9, 1, obs)
+            await server.stop()
+            await asyncio.gather(*tasks)
+            return result
+
+        result = run(main())
+        assert isinstance(result, Decision)
+        assert result.degraded
+        assert result.batch_size == 1
+        assert result.action == store.decide_serial(1, obs)
+
+    def test_queue_mode_waits_for_space(self):
+        store = store_of()
+
+        async def main():
+            server = DecisionServer(
+                store,
+                max_batch=64,
+                deadline_ms=5,
+                queue_limit=2,
+                admission="queue",
+            )
+            tasks = self._fill(server, store, 2)
+            await asyncio.sleep(0)
+            # queue full; this waits for the deadline flush to free space
+            late = await server.decide(
+                9, 0, np.zeros(store.observation_size)
+            )
+            await server.stop()
+            early = await asyncio.gather(*tasks)
+            return early, late
+
+        early, late = run(main())
+        assert all(isinstance(r, Decision) for r in early)
+        assert isinstance(late, Decision)
