@@ -13,7 +13,10 @@ replaced (and is pinned bit-identical to by the equivalence suites):
 * DSSS despreading — the ±1 GEMM against ``CHIP_TABLE_PM`` vs the
   broadcast Hamming scan,
 * sync correlation — windowed preamble searches vs their per-offset
-  Python scans.
+  Python scans,
+* channel fidelity tiers — hybrid (calibrated table lookup) PER vs the
+  analytic closed form, and the waveform tier's seeded trial cache vs
+  uncached Monte-Carlo adjudication.
 
 Stage wall-clocks land in ``benchmarks/results/BENCH_kernels.json``
 (with the speedup summary under ``"speedups"`` and the PER-cache
@@ -372,3 +375,66 @@ def test_sync_correlation_speedup():
     _write_artifact()
     assert SPEEDUPS["find_preamble"] >= 3.0
     assert SPEEDUPS["locate_preamble"] >= 3.0
+
+
+def test_channel_fidelity_speedup():
+    from repro.channel import fidelity as F
+
+    analytic = LinkBudget()
+    hybrid = F.HybridLinkBudget(calibration=F.load_default_calibration())
+    emu = Interferer(power_dbm=-45.0, signal_type=JammerSignalType.EMUBEE)
+    zig = Interferer(power_dbm=-60.0, signal_type=JammerSignalType.ZIGBEE)
+    signals = [float(s) for s in np.linspace(-90.0, -40.0, 25)]
+    combos = [(zig,), (emu,), (emu, zig)]
+
+    def grid(budget):
+        for signal in signals:
+            for combo in combos:
+                budget.packet_error_rate(signal, 68, list(combo))
+
+    grid(analytic)  # warm the shared SER caches on both sides
+    grid(hybrid)
+    analytic_s = _timed(
+        "kernels.channel_per.analytic", lambda: grid(analytic), repeats=20
+    )
+    hybrid_s = _timed(
+        "kernels.channel_per.hybrid", lambda: grid(hybrid), repeats=20
+    )
+    SPEEDUPS["channel_hybrid"] = analytic_s / hybrid_s
+
+    # The waveform tier's cost model: a cache miss pays a batch of
+    # Monte-Carlo chip-flip trials, a hit is a dict probe. Keep the grid
+    # small so the uncached side stays benchable.
+    waveform = F.WaveformLinkBudget(seed=0, trials=8, margin_bin_db=1.0)
+    points = [
+        (-60.0, (emu,)),
+        (-52.0, (emu,)),
+        (-45.0, (zig,)),
+        (-58.0, (zig, emu)),
+    ]
+
+    def waveform_grid():
+        for signal, combo in points:
+            waveform.packet_error_rate(signal, 68, list(combo))
+
+    def uncached():
+        F.clear_trial_cache()
+        waveform_grid()
+
+    uncached_s = _timed(
+        "kernels.channel_per.waveform_uncached", uncached, repeats=1
+    )
+    waveform_grid()  # warm: steady-state adjudication hits the cache
+    before = F.trial_cache_stats()
+    cached_s = _timed(
+        "kernels.channel_per.waveform_cached", waveform_grid, repeats=1
+    )
+    after = F.trial_cache_stats()
+    assert after["hits"] > before["hits"]
+    assert after["misses"] == before["misses"]
+    SPEEDUPS["waveform_channel_cache"] = uncached_s / cached_s
+    _write_artifact()
+    # The calibrated hybrid table must stay within ~2x of the analytic
+    # closed form; the trial cache must amortise Monte-Carlo by >=10x.
+    assert SPEEDUPS["channel_hybrid"] >= 0.5
+    assert SPEEDUPS["waveform_channel_cache"] >= 10.0

@@ -8,6 +8,16 @@ noise-like Wi-Fi interference but not against waveform-correlated
 ZigBee/EmuBee chips (paper §II-A-2, Fig. 2(b)).
 """
 
+from repro.channel.fidelity import (
+    CalibrationTable,
+    HybridLinkBudget,
+    JamAdjudicator,
+    WaveformLinkBudget,
+    calibrate,
+    load_default_calibration,
+    make_channel,
+    resolve_channel_tier,
+)
 from repro.channel.link import (
     JammerSignalType,
     LinkBudget,
@@ -46,6 +56,14 @@ from repro.channel.waveform import (
 )
 
 __all__ = [
+    "CalibrationTable",
+    "HybridLinkBudget",
+    "JamAdjudicator",
+    "WaveformLinkBudget",
+    "calibrate",
+    "load_default_calibration",
+    "make_channel",
+    "resolve_channel_tier",
     "JammerSignalType",
     "LinkBudget",
     "LinkTable",

@@ -261,12 +261,17 @@ class LinkBudget:
         interferers = interferers or []
         noise_like = [self.noise_floor_dbm]
         correlated_dbm: list[float] = []
+        dominant: Interferer | None = None
+        dominant_eff = float("-inf")
         for itf in interferers:
             eff = self.effective_interference_dbm(itf)
             if eff == float("-inf"):
                 continue
             if itf.signal_type.is_correlated:
                 correlated_dbm.append(eff)
+                if eff > dominant_eff:
+                    dominant = itf
+                    dominant_eff = eff
             else:
                 noise_like.append(eff)
 
@@ -282,11 +287,24 @@ class LinkBudget:
         if correlated_dbm:
             jam_dbm = combine_powers_dbm(correlated_dbm)
             margin_db = jam_dbm - signal_dbm
-            q = chip_flip_probability(margin_db)
+            q = self.correlated_chip_flip(margin_db, dominant)
             ser_corr = symbol_error_from_chip_flips(q)
 
         # Independent error sources.
         return 1.0 - (1.0 - ser_noise) * (1.0 - ser_corr)
+
+    def correlated_chip_flip(
+        self, margin_db: float, dominant: Interferer | None = None
+    ) -> float:
+        """Chip-flip probability hook for the correlated-jamming path.
+
+        ``margin_db`` is the combined effective jamming power minus the
+        signal power; ``dominant`` is the strongest correlated interferer
+        (by effective power), which higher-fidelity subclasses use to pick
+        the matching waveform/calibration entry. The base budget is the
+        paper's analytic capture model.
+        """
+        return chip_flip_probability(margin_db)
 
     def packet_error_rate(
         self,

@@ -53,14 +53,23 @@ class Medium:
         *,
         busy_threshold_dbm: float = -85.0,
         seed: SeedLike = None,
+        channel: str | None = None,
     ) -> None:
         self.propagation = propagation or LogDistancePathLoss()
         self.link_budget = link_budget or LinkBudget(propagation=self.propagation)
         #: Exact-PER memoisation table all frame outcomes route through.
         #: Keys are the exact link-budget inputs, so results are
         #: bit-identical to calling the budget directly (REPRO_PER_CACHE=0
-        #: disables it).
-        self.link_table = LinkTable(self.link_budget)
+        #: disables it). ``channel`` (default ``REPRO_CHANNEL``) selects
+        #: the fidelity tier the table's misses are computed at; the
+        #: analytic default is exactly ``LinkTable(self.link_budget)``.
+        from repro.channel.fidelity import make_channel, resolve_channel_tier
+
+        self.channel_tier = resolve_channel_tier(channel)
+        self.link_table = make_channel(self.channel_tier, budget=self.link_budget)
+        # Non-analytic tiers wrap the base parameters in a fidelity budget;
+        # keep the public handle pointing at what the table actually uses.
+        self.link_budget = self.link_table.budget
         self.busy_threshold_dbm = busy_threshold_dbm
         self._rng = make_rng(seed)
         self._placements: dict[str, Placement] = {}

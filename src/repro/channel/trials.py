@@ -69,9 +69,13 @@ def resolve_bank_samples(samples: int | str | None = None) -> int:
     """
     if samples is None:
         samples = os.environ.get(JAMMER_BANK_ENV)
+    if isinstance(samples, str):
+        samples = samples.strip()
     if samples is None or samples == "":
+        # Empty/whitespace-only REPRO_JAMMER_BANK counts as unset, not as
+        # a malformed integer (mirrors resolve_workers).
         return DEFAULT_BANK_SAMPLES
-    if isinstance(samples, str) and samples.strip().lower() in ("off", "none"):
+    if isinstance(samples, str) and samples.lower() in ("off", "none"):
         return 0
     try:
         n = int(samples)
@@ -89,9 +93,13 @@ def resolve_trial_batch(batch: int | str | None = None) -> int:
     """Resolve the trials-per-task chunk size from ``REPRO_TRIAL_BATCH``."""
     if batch is None:
         batch = os.environ.get(TRIAL_BATCH_ENV)
+    if isinstance(batch, str):
+        batch = batch.strip()
     if batch is None or batch == "":
+        # Empty/whitespace-only REPRO_TRIAL_BATCH counts as unset, not as
+        # a malformed integer (mirrors resolve_workers).
         return DEFAULT_TRIAL_BATCH
-    if isinstance(batch, str) and batch.strip().lower() == "off":
+    if isinstance(batch, str) and batch.lower() == "off":
         return 1
     try:
         n = int(batch)

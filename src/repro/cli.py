@@ -36,6 +36,16 @@ from repro.core.trainer import (
     train_dqn,
     train_dqn_multi_seed,
 )
+from repro.channel.fidelity import (
+    CALIBRATION_TOLERANCE,
+    CHANNEL_ENV,
+    CHANNEL_TIERS,
+    DEFAULT_CALIBRATION_MARGINS,
+    OFFSET_BIN_MHZ,
+    CalibrationTable,
+    calibrate,
+)
+from repro.channel.link import JammerSignalType, chip_flip_probability
 from repro.channel.trials import JAMMER_BANK_ENV, TRIAL_BATCH_ENV
 from repro.core.vecenv import ENV_BATCH_ENV
 from repro.errors import ReproError
@@ -170,6 +180,8 @@ def _apply_exec_options(args: argparse.Namespace) -> None:
         os.environ[SHARDS_ENV] = str(args.shards)
     if getattr(args, "field_batch", None) is not None:
         os.environ[FIELD_BATCH_ENV] = str(args.field_batch)
+    if getattr(args, "channel", None) is not None:
+        os.environ[CHANNEL_ENV] = str(args.channel)
 
 
 def cmd_train(args: argparse.Namespace) -> int:
@@ -474,6 +486,134 @@ def _load_bench_stages(path: Path) -> dict[str, float]:
     return {
         name: float(stats.get("seconds", 0.0)) for name, stats in stages.items()
     }
+
+
+def cmd_calibrate(args: argparse.Namespace) -> int:
+    """``repro calibrate``: fit or verify the hybrid channel's table.
+
+    Generation runs the deterministic waveform calibration pass and
+    (optionally) writes the versioned artifact; ``--check PATH``
+    regenerates from an artifact's own stored parameters and requires the
+    measurements to reproduce bit-identically with the fit residual
+    inside ``--tolerance``.
+    """
+    _apply_exec_options(args)
+    runner = (
+        ParallelRunner(name="calibrate.map") if resolve_workers() > 1 else None
+    )
+    if args.check:
+        reference = CalibrationTable.load(args.check)
+        signals = tuple(
+            JammerSignalType(name)
+            for name in sorted({key[0] for key in reference.entries})
+        )
+        offsets = tuple(
+            sorted({key[1] * OFFSET_BIN_MHZ for key in reference.entries})
+        )
+        regenerated = calibrate(
+            margins_db=reference.margins_db,
+            trials=reference.trials,
+            payload_bytes=reference.payload_bytes,
+            seed=reference.seed,
+            signals=signals,
+            offsets_mhz=offsets,
+            noise_to_signal_db=reference.noise_to_signal_db,
+            runner=runner,
+            trial_batch=args.trial_batch,
+        )
+        reproduced = regenerated.to_payload() == reference.to_payload()
+        residual = reference.max_fit_residual
+        within = residual <= args.tolerance
+        log.info(
+            "calibration check",
+            artifact=args.check,
+            reproduced=reproduced,
+            max_fit_residual=f"{residual:.6f}",
+            tolerance=args.tolerance,
+        )
+        if not reproduced:
+            log.error(
+                "calibration artifact does not reproduce from its stored "
+                "parameters",
+                artifact=args.check,
+            )
+        if not within:
+            log.error(
+                "calibration fit residual exceeds tolerance",
+                residual=f"{residual:.6f}",
+                tolerance=args.tolerance,
+            )
+        print(
+            f"calibration check: reproduced={reproduced} "
+            f"max_fit_residual={residual:.6f} tolerance={args.tolerance}"
+        )
+        return 0 if (reproduced and within) else 1
+
+    if args.margins:
+        try:
+            margins = tuple(float(m) for m in args.margins.split(","))
+        except ValueError:
+            raise ReproError(
+                f"--margins must be a comma list of dB values, got "
+                f"{args.margins!r}"
+            )
+    else:
+        margins = DEFAULT_CALIBRATION_MARGINS
+    table = calibrate(
+        margins_db=margins,
+        trials=args.trials,
+        payload_bytes=args.payload_bytes,
+        seed=args.seed,
+        runner=runner,
+        trial_batch=args.trial_batch,
+    )
+    rows = []
+    for (signal, offset_bin), entry in sorted(table.entries.items()):
+        for m, measured, corrected in zip(
+            table.margins_db, entry["measured"], entry["corrected"]
+        ):
+            rows.append(
+                [
+                    signal,
+                    offset_bin,
+                    m,
+                    chip_flip_probability(m),
+                    measured,
+                    corrected,
+                    abs(corrected - measured),
+                ]
+            )
+    print(
+        render_table(
+            [
+                "signal",
+                "overlap",
+                "margin dB",
+                "analytic q",
+                "measured q",
+                "corrected q",
+                "|resid|",
+            ],
+            rows,
+            title=(
+                f"hybrid channel calibration (seed {table.seed}, "
+                f"{table.trials} trials/point, max residual "
+                f"{table.max_fit_residual:.6f})"
+            ),
+            digits=4,
+        )
+    )
+    if table.max_fit_residual > args.tolerance:
+        log.error(
+            "calibration fit residual exceeds tolerance",
+            residual=f"{table.max_fit_residual:.6f}",
+            tolerance=args.tolerance,
+        )
+        return 1
+    if args.out:
+        path = table.save(args.out)
+        log.info("calibration artifact written", path=str(path))
+    return 0
 
 
 def cmd_field_scale(args: argparse.Namespace) -> int:
@@ -938,6 +1078,13 @@ def build_parser() -> argparse.ArgumentParser:
         "bit-identical to the serial runs for any setting",
     )
     p.add_argument("--save", help="path for the .npz parameter artifact")
+    p.add_argument(
+        "--channel",
+        choices=CHANNEL_TIERS,
+        default=None,
+        help="channel-fidelity tier for training envs (overrides "
+        f"{CHANNEL_ENV}; default analytic)",
+    )
     p.set_defaults(func=cmd_train)
 
     p = sub.add_parser("figure", help="regenerate a paper figure")
@@ -1013,7 +1160,66 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="train a DQN for fig 11a instead of using the exact optimum",
     )
+    p.add_argument(
+        "--channel",
+        choices=CHANNEL_TIERS,
+        default=None,
+        help="channel-fidelity tier for simulated figures (overrides "
+        f"{CHANNEL_ENV}; default analytic)",
+    )
     p.set_defaults(func=cmd_figure)
+
+    p = sub.add_parser(
+        "calibrate",
+        help="fit (or verify) the hybrid channel's waveform correction table",
+    )
+    p.add_argument(
+        "--trials",
+        type=int,
+        default=48,
+        help="waveform trials per (signal, margin) grid point (default 48)",
+    )
+    p.add_argument(
+        "--margins",
+        default=None,
+        help="comma list of effective jamming margins in dB "
+        "(default the standard calibration grid)",
+    )
+    p.add_argument("--payload-bytes", type=int, default=8)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument(
+        "--out",
+        default=None,
+        help="write the versioned calibration artifact here (JSON)",
+    )
+    p.add_argument(
+        "--check",
+        default=None,
+        metavar="PATH",
+        help="verify an existing artifact instead of generating: regenerate "
+        "from its stored parameters and require bit-identical measurements "
+        "with the fit residual inside --tolerance",
+    )
+    p.add_argument(
+        "--tolerance",
+        type=float,
+        default=CALIBRATION_TOLERANCE,
+        help="max allowed |corrected - measured| on the grid "
+        f"(default {CALIBRATION_TOLERANCE})",
+    )
+    p.add_argument(
+        "--workers",
+        help="process-pool size for the trial fan-out (overrides "
+        "REPRO_WORKERS; 'auto' = one per CPU)",
+    )
+    _add_fault_args(p)
+    p.add_argument(
+        "--trial-batch",
+        default=None,
+        help="waveform trials shipped per pool task (overrides "
+        "REPRO_TRIAL_BATCH; bit-identical for any setting)",
+    )
+    p.set_defaults(func=cmd_calibrate)
 
     p = sub.add_parser("emulate", help="run the EmuBee pipeline on hex bytes")
     p.add_argument("hex", help="ZigBee payload as hex, e.g. deadbeef")
@@ -1130,6 +1336,13 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="slots of uniforms drawn per rng refill in aggregate sampling "
         f"(overrides {FIELD_BATCH_ENV})",
+    )
+    p.add_argument(
+        "--channel",
+        choices=CHANNEL_TIERS,
+        default=None,
+        help="channel-fidelity tier of jam adjudication and the co-channel "
+        f"PER grid (overrides {CHANNEL_ENV}; default analytic)",
     )
     p.add_argument(
         "--workers",

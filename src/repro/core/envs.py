@@ -17,14 +17,32 @@ Two implementations of the victim/jammer competition:
 from __future__ import annotations
 
 import copy
-from dataclasses import dataclass
+from dataclasses import dataclass, fields
 
 import numpy as np
 
+from repro.channel.fidelity import JamAdjudicator
 from repro.constants import DEFAULT_HISTORY_LENGTH
 from repro.core.mdp import TJ, J, Action, AntiJammingMDP, JammerMode, MDPConfig, State
 from repro.errors import ConfigurationError, SimulationError
 from repro.rng import SeedLike, make_rng
+
+
+@dataclass(frozen=True, eq=False)
+class _ChannelMDPConfig(MDPConfig):
+    """MDP config whose jam-success law comes from a channel-tier adjudicator.
+
+    Built by the envs when a non-analytic ``REPRO_CHANNEL`` tier is
+    selected; every other field (and the kernel built on top of it) is a
+    verbatim copy of the wrapped config.
+    """
+
+    adjudicator: JamAdjudicator | None = None
+
+    def jam_success_probability(self, power_index: int) -> float:
+        if self.adjudicator is None:
+            return super().jam_success_probability(power_index)
+        return self.adjudicator.jam_success_probability(self, power_index)
 
 
 @dataclass(frozen=True)
@@ -44,12 +62,34 @@ class StepInfo:
 
 
 class AnalyticJammingEnv:
-    """Samples the competition directly from the paper's transition kernel."""
+    """Samples the competition directly from the paper's transition kernel.
 
-    def __init__(self, mdp: AntiJammingMDP | MDPConfig | None = None, *, seed: SeedLike = None) -> None:
+    ``channel`` (default ``REPRO_CHANNEL``) selects the fidelity tier of
+    the jam-success law: the analytic default keeps the exact threshold
+    kernel, while ``hybrid``/``waveform`` replace
+    :meth:`MDPConfig.jam_success_probability` with the tier's calibrated
+    packet-survival contest via :class:`_ChannelMDPConfig`.
+    """
+
+    def __init__(
+        self,
+        mdp: AntiJammingMDP | MDPConfig | None = None,
+        *,
+        seed: SeedLike = None,
+        channel: str | None = None,
+    ) -> None:
         if isinstance(mdp, MDPConfig):
             mdp = AntiJammingMDP(mdp)
         self.mdp = mdp or AntiJammingMDP()
+        self._adjudicator = JamAdjudicator(channel)
+        if not self._adjudicator.analytic:
+            base = self.mdp.config
+            self.mdp = AntiJammingMDP(
+                _ChannelMDPConfig(
+                    **{f.name: getattr(base, f.name) for f in fields(MDPConfig)},
+                    adjudicator=self._adjudicator,
+                )
+            )
         self._rng = make_rng(seed)
         self.state: State = 1
 
@@ -186,8 +226,13 @@ class SweepJammingEnv:
         seed: SeedLike = None,
         sweep_strategy=None,
         jammer_factory=None,
+        channel: str | None = None,
     ) -> None:
         self.config = config or MDPConfig()
+        # Fidelity tier of jam adjudication (default REPRO_CHANNEL). The
+        # analytic tier keeps the deterministic threshold contest and
+        # consumes no randomness, so default trajectories are unchanged.
+        self._adjudicator = JamAdjudicator(channel)
         if history_length < 1:
             raise ConfigurationError("history length must be >= 1")
         if sweep_strategy is not None and jammer_factory is not None:
@@ -287,7 +332,9 @@ class SweepJammingEnv:
         )
         tx_power = cfg.tx_power_levels[power_index]
         if attacked:
-            defeated = tx_power >= jam_power
+            defeated = bool(
+                self._adjudicator.defeats(tx_power, jam_power, rng=self._rng)
+            )
             next_state: State = TJ if defeated else J
             self._streak = 0
         else:

@@ -20,6 +20,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.channel.fidelity import JamAdjudicator, resolve_channel_tier
 from repro.core.dqn import DQNAgent
 from repro.core.envs import StepInfo
 from repro.core.mdp import TJ, J, MDPConfig, State
@@ -361,8 +362,12 @@ class FieldConfig:
     #: uniform budget per slot on a renewal-process approximation, which is
     #: what lets the grid engine batch thousands of networks per slot.
     sampling: str = "packet"
+    #: Channel-fidelity tier of jam adjudication (``None`` reads
+    #: ``REPRO_CHANNEL`` at construction; normalised to the tier name).
+    channel: str | None = None
 
     def __post_init__(self) -> None:
+        object.__setattr__(self, "channel", resolve_channel_tier(self.channel))
         if self.tx_slot_duration_s <= 0:
             raise ConfigurationError("Tx slot duration must be positive")
         if self.num_peripherals < 1:
@@ -456,6 +461,18 @@ class FieldExperiment(SlottedSimulation[FieldSlotRecord]):
             if config.jammer is not None
             else None
         )
+        # Channel-tier jam adjudication. The analytic default keeps the
+        # exact threshold contest and the stream below is never created,
+        # so default runs are bit-identical. Non-analytic tiers draw one
+        # uniform per jammed-capable slot from a dedicated derived stream
+        # (never from ``self.rng``) so negotiation/goodput draws stay
+        # aligned with the analytic schedule and with the grid engine.
+        self._adjudicator = JamAdjudicator(config.channel)
+        self._jam_rng = (
+            make_rng(derive(seed, "field-channel"))
+            if (self.jammer is not None and not self._adjudicator.analytic)
+            else None
+        )
         self._log = SlotLog()
         self._state: State = 1
         self._streak = 1
@@ -527,8 +544,15 @@ class FieldExperiment(SlottedSimulation[FieldSlotRecord]):
                 start_time, start_time + cfg.tx_slot_duration_s, channel
             )
             attempted = profile.attempted
+            # One draw per slot (attacked or not) keeps the stream aligned
+            # with the grid engine's vectorised per-network draws.
+            jam_u = (
+                float(self._jam_rng.random()) if self._jam_rng is not None else None
+            )
             if attempted:
-                if tx_power >= profile.max_power:
+                if self._adjudicator.defeats(
+                    tx_power, profile.max_power, uniform=jam_u
+                ):
                     defeated = True
                 else:
                     jam_fraction = profile.jammed_fraction

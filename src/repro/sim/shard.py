@@ -34,7 +34,8 @@ from dataclasses import dataclass, field
 import numpy as np
 from scipy.spatial import cKDTree
 
-from repro.channel.link import Interferer, JammerSignalType, LinkBudget, LinkTable
+from repro.channel.fidelity import JamAdjudicator, make_channel, resolve_channel_tier
+from repro.channel.link import Interferer, JammerSignalType, LinkBudget
 from repro.channel.propagation import LogDistancePathLoss
 from repro.core.mdp import TJ, J, MDPConfig, State
 from repro.core.metrics import MetricSummary, SlotLog
@@ -49,7 +50,7 @@ from repro.net.goodput import AGGREGATE_DRAWS_PER_SLOT, GoodputModel
 from repro.obs import telemetry as obs_telemetry
 from repro.obs import trace as obs_trace
 from repro.obs.metrics import METRICS, drain_labelled_counters
-from repro.rng import SeedLike, derive
+from repro.rng import SeedLike, derive, make_rng
 from repro.sim.engine import check_num_slots, resolve_field_batch
 from repro.sim.field import (
     DeceptionAdapter,
@@ -142,8 +143,12 @@ class InterferenceModel:
     packet_octets: int = 60
     distance_bin_m: float = 0.5
     propagation: LogDistancePathLoss = field(default_factory=LogDistancePathLoss)
+    #: Channel-fidelity tier of the co-channel PER grid (``None`` reads
+    #: ``REPRO_CHANNEL`` at construction; normalised to the tier name).
+    channel: str | None = None
 
     def __post_init__(self) -> None:
+        object.__setattr__(self, "channel", resolve_channel_tier(self.channel))
         if self.radius_m <= 0:
             raise ConfigurationError("interference radius must be positive")
         if self.link_distance_m <= 0:
@@ -354,7 +359,9 @@ class _InterferenceEngine:
         used = np.unique(self.bins) if len(self.bins) else np.empty(0, np.intp)
         max_bin = int(used.max()) + 1 if len(used) else 0
         self.per = np.zeros((max_bin, levels, levels))
-        table = LinkTable(LinkBudget(propagation=model.propagation))
+        table = make_channel(
+            model.channel, budget=LinkBudget(propagation=model.propagation)
+        )
         signals = {
             pv: model.propagation.received_power_dbm(
                 float(tx_dbm[pv]), model.link_distance_m
@@ -609,6 +616,18 @@ class _ShardEngine:
         )
         has_decoys = any(hasattr(a, "active_decoy") for a in adapters)
 
+        # Channel-tier jam adjudication, mirroring FieldExperiment: the
+        # analytic default keeps the vectorised threshold contest with no
+        # extra draws; other tiers consume one uniform per network per
+        # slot from per-network "field-channel" streams, so any grid
+        # network still replays solo bit-for-bit on its derived seed.
+        adjudicator = JamAdjudicator(fld.channel)
+        jam_streams = (
+            [make_rng(derive(s, "field-channel")) for s in spec.net_seeds]
+            if (bank is not None and not adjudicator.analytic)
+            else None
+        )
+
         # Decide-phase strategy: stateless table policies vectorise, a
         # DQN fleet acts through one stacked forward, anything else loops.
         plain_state = all(type(a) is StatePolicyAdapter for a in adapters)
@@ -723,7 +742,17 @@ class _ShardEngine:
                 fraction, attempted, max_power = bank.attack_profiles(
                     start, start + duration, channels
                 )
-                defeated = attempted & (tx_power >= max_power)
+                if jam_streams is None:
+                    defeated = attempted & (tx_power >= max_power)
+                else:
+                    us = np.array([r.random() for r in jam_streams])
+                    defeated = np.zeros(n, dtype=bool)
+                    idx = np.flatnonzero(attempted)
+                    if len(idx):
+                        surv = adjudicator.survival_array(
+                            tx_power[idx], max_power[idx]
+                        )
+                        defeated[idx] = us[idx] < surv
                 jam_fraction = np.where(attempted & ~defeated, fraction, 0.0)
                 old_attacked = hopped & bank.attacking(previous)
             else:

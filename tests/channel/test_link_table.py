@@ -177,3 +177,46 @@ class TestPrecompute:
         table = LinkTable(capacity=4)
         table.precompute(SIGNALS, [60], [()])
         assert len(table) == 4
+
+
+class TestShadowedJamming:
+    """``jamming_per`` under log-normal shadowing memoises bit-exactly.
+
+    With ``shadowing_sigma_db > 0`` the quadrature averages 15 per-point
+    PERs; the table must return the direct budget's float, serve repeats
+    from the whole-result cache, and key the sigma so different spreads
+    never alias.
+    """
+
+    KW = dict(
+        link_distance_m=10.0,
+        jammer_distance_m=5.0,
+        signal_type=JammerSignalType.EMUBEE,
+        victim_tx_dbm=0.0,
+        jammer_tx_dbm=15.0,
+        shadowing_sigma_db=6.0,
+    )
+
+    def test_matches_direct_and_memoises(self):
+        budget = LinkBudget()
+        table = LinkTable(budget)
+        direct = budget.jamming_per(**self.KW)
+        assert table.jamming_per(**self.KW) == direct
+        hits = table.hits
+        assert table.jamming_per(**self.KW) == direct
+        # Whole-result hit: the 15-node quadrature does not re-run.
+        assert table.hits == hits + 1
+
+    def test_quadrature_points_fill_the_per_cache(self):
+        table = LinkTable()
+        table.jamming_per(**self.KW)
+        # 15 Gauss–Hermite nodes land as per-point entries alongside the
+        # single whole-result entry, so later calls at overlapping
+        # geometries reuse them.
+        assert table.stats()["entries"] == 16
+
+    def test_sigma_is_part_of_the_key(self):
+        table = LinkTable()
+        a = table.jamming_per(**{**self.KW, "shadowing_sigma_db": 4.0})
+        b = table.jamming_per(**{**self.KW, "shadowing_sigma_db": 6.0})
+        assert a != b

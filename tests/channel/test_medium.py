@@ -142,3 +142,44 @@ class TestFrameOutcome:
             ]
 
         assert run(7) == run(7)
+
+
+class TestChannelTiers:
+    @staticmethod
+    def _outcomes(channel, seed=7):
+        m = Medium(seed=seed, channel=channel)
+        m.place("hub", 0.0, 0.0)
+        m.place("node1", 3.0, 0.0)
+        m.place("jammer", 4.0, 0.0)
+        active = [
+            ActiveTransmission("jammer", 15, 5.0, signal_type=JammerSignalType.EMUBEE)
+        ]
+        return [
+            m.frame_outcome(
+                "node1",
+                "hub",
+                zigbee_channel=15,
+                tx_power_dbm=0.0,
+                packet_octets=60,
+                active=active,
+            )
+            for _ in range(20)
+        ]
+
+    def test_default_is_analytic_and_bit_identical(self):
+        m = Medium(seed=0)
+        assert m.channel_tier == "analytic"
+        assert self._outcomes(None) == self._outcomes("analytic")
+
+    def test_hybrid_budget_installed_and_reproducible(self):
+        from repro.channel.fidelity import HybridLinkBudget
+
+        m = Medium(seed=0, channel="hybrid")
+        assert m.channel_tier == "hybrid"
+        assert isinstance(m.link_budget, HybridLinkBudget)
+        assert m.link_table.budget is m.link_budget
+        assert self._outcomes("hybrid") == self._outcomes("hybrid")
+
+    def test_unknown_tier_rejected(self):
+        with pytest.raises(ChannelError):
+            Medium(seed=0, channel="exact")

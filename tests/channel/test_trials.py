@@ -346,6 +346,22 @@ class TestEnvResolution:
         with pytest.raises(ConfigurationError):
             resolve_trial_batch(0)
 
+    def test_whitespace_env_counts_as_unset(self, monkeypatch):
+        # A stray "export REPRO_JAMMER_BANK=' '" must behave like the
+        # variable being absent, not like an invalid literal.
+        monkeypatch.setenv(JAMMER_BANK_ENV, "   ")
+        assert resolve_bank_samples() == DEFAULT_BANK_SAMPLES
+        monkeypatch.setenv(TRIAL_BATCH_ENV, "\t ")
+        assert resolve_trial_batch() == DEFAULT_TRIAL_BATCH
+
+    def test_padded_env_values_parse(self, monkeypatch):
+        monkeypatch.setenv(JAMMER_BANK_ENV, " 2048 ")
+        assert resolve_bank_samples() == 2048
+        monkeypatch.setenv(JAMMER_BANK_ENV, " OFF ")
+        assert resolve_bank_samples() == 0
+        monkeypatch.setenv(TRIAL_BATCH_ENV, " 16 ")
+        assert resolve_trial_batch() == 16
+
 
 class TestValidationAndMetrics:
     def test_rejects_bad_batches(self):

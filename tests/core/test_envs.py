@@ -266,3 +266,56 @@ class TestSeededResetIsolation:
         self._trace(env, seed=1)
         # Episodes mutate the jammer's copy, never the caller's object.
         assert template.block_scores().sum() == 0.0
+
+
+class TestChannelTiers:
+    """Fidelity-tier selection threaded through both environments."""
+
+    @staticmethod
+    def _sweep_trajectory(**kwargs):
+        env = SweepJammingEnv(seed=11, **kwargs)
+        out = []
+        for i in range(150):
+            _, reward, info = env.step_index(i % env.num_actions)
+            out.append((reward, info.state, info.jam_attempted))
+        return out
+
+    def test_analytic_default_bit_identical(self):
+        # channel=None (default) and channel="analytic" must be the same
+        # trajectory: the analytic adjudicator consumes no randomness.
+        assert self._sweep_trajectory() == self._sweep_trajectory(
+            channel="analytic"
+        )
+
+    def test_hybrid_sweep_deterministic(self):
+        a = self._sweep_trajectory(channel="hybrid")
+        b = self._sweep_trajectory(channel="hybrid")
+        assert a == b
+
+    def test_env_variable_selects_tier(self, monkeypatch):
+        monkeypatch.setenv("REPRO_CHANNEL", "hybrid")
+        env = AnalyticJammingEnv(seed=0)
+        assert env._adjudicator.tier == "hybrid"
+        monkeypatch.setenv("REPRO_CHANNEL", "")
+        assert AnalyticJammingEnv(seed=0)._adjudicator.analytic
+
+    def test_hybrid_rewires_jam_success_law(self):
+        # Levels straddling the capture transition: analytically a jammer
+        # below the tx power never wins; under the calibrated tier the
+        # -1.4 dB margin still corrupts a fraction of the packets.
+        cfg = MDPConfig(
+            tx_power_levels=(11.0, 11.4, 12.0),
+            jammer_power_levels=(8.0, 10.0),
+        )
+        analytic = AnalyticJammingEnv(cfg, seed=0)
+        hybrid = AnalyticJammingEnv(cfg, seed=0, channel="hybrid")
+        p_analytic = analytic.mdp.config.jam_success_probability(1)
+        p_hybrid = hybrid.mdp.config.jam_success_probability(1)
+        assert p_analytic == 0.0
+        assert 0.0 < p_hybrid < 1.0
+
+    def test_analytic_env_hybrid_runs(self):
+        env = AnalyticJammingEnv(seed=4, channel="hybrid")
+        for i in range(50):
+            state, reward, info = env.step(Action(hop=i % 2 == 0, power_index=0))
+            assert state in env.mdp.states

@@ -87,3 +87,48 @@ class TestTrainCommand:
         assert path.exists()
         with np.load(path) as data:
             assert data["flat"].size == 10_960
+
+
+class TestCalibrateCommand:
+    def test_generate_check_roundtrip(self, capsys, tmp_path):
+        path = tmp_path / "cal.json"
+        code = main(
+            [
+                "calibrate",
+                "--trials", "4",
+                "--margins=-3,0,3",
+                "--seed", "2",
+                "--out", str(path),
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "corrected" in out
+        assert path.exists()
+        assert main(["calibrate", "--check", str(path)]) == 0
+        assert "reproduced" in capsys.readouterr().out.lower()
+
+    def test_check_rejects_tampered_artifact(self, capsys, tmp_path):
+        import json
+
+        path = tmp_path / "cal.json"
+        assert main(
+            ["calibrate", "--trials", "4", "--margins=-3,0,3", "--out", str(path)]
+        ) == 0
+        payload = json.loads(path.read_text())
+        payload["entries"][0]["corrected"] = [
+            0.0 for _ in payload["entries"][0]["corrected"]
+        ]
+        path.write_text(json.dumps(payload))
+        assert main(["calibrate", "--check", str(path)]) == 1
+
+    def test_channel_flag_exported(self, monkeypatch):
+        import os
+
+        from repro.channel.fidelity import CHANNEL_ENV
+
+        monkeypatch.delenv(CHANNEL_ENV, raising=False)
+        args = build_parser().parse_args(["train", "--channel", "hybrid"])
+        assert args.channel == "hybrid"
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["train", "--channel", "exact"])

@@ -1,10 +1,12 @@
 """Tests for the field-experiment simulator and scenario factories."""
 
+import dataclasses
+
 import pytest
 
 from repro.core.dqn import DQNAgent, DQNConfig
 from repro.core.mdp import MDPConfig
-from repro.errors import ConfigurationError, SimulationError
+from repro.errors import ChannelError, ConfigurationError, SimulationError
 from repro.jamming.jammer import FieldJammerConfig
 from repro.sim.engine import SlottedSimulation
 from repro.sim.field import (
@@ -374,3 +376,38 @@ class TestDeceptionAdapter:
         # stays strictly below an undefended slot's.
         assert 0.0 < result.utilization < 1.0
         assert result.goodput_pkts_per_slot > 0.0
+
+
+class TestChannelTiers:
+    def run_channel(self, channel, slots=120, seed=5):
+        d = paper_defaults()
+        cfg = FieldConfig(
+            mdp=d.mdp, jammer=field_jammer_config(d), channel=channel
+        )
+        policy = scheme_policy("optimal", d.mdp, seed=seed)
+        exp = FieldExperiment(
+            cfg, StatePolicyAdapter(policy, d.mdp, seed=seed + 1), seed=seed + 2
+        )
+        return exp.run_experiment(slots)
+
+    def test_analytic_default_bit_identical(self):
+        # The tiered channel must not move a single draw on the default
+        # path: tier resolution happens outside the experiment's streams.
+        base = self.run_channel(None)
+        explicit = self.run_channel("analytic")
+        assert base.goodput_pkts_per_slot == explicit.goodput_pkts_per_slot
+        assert base.metrics == explicit.metrics
+        for mine, ref in zip(base.records, explicit.records):
+            assert dataclasses.astuple(mine) == dataclasses.astuple(ref)
+
+    def test_hybrid_reproducible_and_plausible(self):
+        a = self.run_channel("hybrid")
+        b = self.run_channel("hybrid")
+        assert a.goodput_pkts_per_slot == b.goodput_pkts_per_slot
+        assert a.metrics == b.metrics
+        assert a.goodput_pkts_per_slot > 0
+
+    def test_config_validates_tier(self):
+        d = paper_defaults()
+        with pytest.raises(ChannelError):
+            FieldConfig(mdp=d.mdp, channel="exact")

@@ -422,3 +422,56 @@ class TestTelemetryInvariance:
         assert len(window.get("tokens", ())) == 9
         # the deception adapter's decoys were flushed per network
         assert any(k.startswith("defense.decoys{") for k in counters)
+
+
+class TestChannelTierGrids:
+    """The fidelity tier composes with sharding without breaking invariance."""
+
+    def _cfg(self, sampling, channel, **kwargs):
+        defaults = paper_defaults()
+        fld = FieldConfig(
+            mdp=defaults.mdp,
+            jammer=field_jammer_config(defaults),
+            sampling=sampling,
+            channel=channel,
+        )
+        return GridConfig(field=fld, **kwargs)
+
+    @pytest.mark.parametrize("sampling", ["packet", "aggregate"])
+    def test_shard_invariance_under_hybrid(self, sampling):
+        cfg = self._cfg(sampling, "hybrid", num_networks=6)
+        slots = 20 if sampling == "packet" else SLOTS
+        base = FieldGrid(cfg, seed=5, shards=1).run(slots)
+        got = FieldGrid(cfg, seed=5, shards=3).run(slots)
+        assert np.array_equal(
+            got.goodput_pkts_per_slot, base.goodput_pkts_per_slot
+        )
+        assert got.metrics == base.metrics
+
+    @pytest.mark.parametrize("sampling", ["packet", "aggregate"])
+    def test_hybrid_network_matches_solo(self, sampling):
+        # The vectorised aggregate adjudication must draw exactly the
+        # uniforms a solo replay of each network draws.
+        seed, index = 3, 2
+        cfg = self._cfg(sampling, "hybrid", num_networks=4)
+        got = FieldGrid(cfg, seed=seed).run(SLOTS).network_result(index)
+        net = network_seed(seed, index)
+        adapter = SchemeAdapterFactory("optimal")(cfg.field.mdp, net)
+        want = FieldExperiment(cfg.field, adapter, seed=net).run_experiment(
+            SLOTS
+        )
+        assert got.goodput_pkts_per_slot == want.goodput_pkts_per_slot
+        assert got.utilization == want.utilization
+        assert got.metrics == want.metrics
+
+    def test_analytic_grid_bit_identical_to_default(self):
+        base = FieldGrid(
+            _grid_config("aggregate", num_networks=5), seed=7
+        ).run(SLOTS)
+        tiered = FieldGrid(
+            self._cfg("aggregate", "analytic", num_networks=5), seed=7
+        ).run(SLOTS)
+        assert np.array_equal(
+            tiered.goodput_pkts_per_slot, base.goodput_pkts_per_slot
+        )
+        assert tiered.metrics == base.metrics

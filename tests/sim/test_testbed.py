@@ -113,3 +113,37 @@ class TestFig2bShape:
         emu_10ish = [r[1] for r in emu if r[0] in (8.0, 12.0)]
         assert analytic["EmuBee"] > analytic["WiFi"]
         assert max(emu_10ish) > 10.0  # EmuBee still biting near 10 m
+
+
+class TestShadowingPaths:
+    def test_precompute_skipped_with_shadowing(self):
+        # Shadowed paths resample per frame, so the PER grid would never
+        # be re-hit; the testbed must not burn work filling it.
+        tb = Testbed(TestbedConfig(shadowing_sigma_db=3.0), seed=0)
+        assert len(tb.medium.link_table) == 0
+
+    def test_precompute_fills_and_window_runs_all_hits(self):
+        tb = Testbed(
+            TestbedConfig(num_peripherals=2, shadowing_sigma_db=0.0), seed=0
+        )
+        table = tb.medium.link_table
+        assert len(table) > 0
+        misses = table.misses
+        tb.run_window(3)
+        # Deterministic geometry: every frame outcome is a cache hit.
+        assert table.misses == misses
+
+    def test_shadowed_window_memoises_and_replays(self):
+        cfg = TestbedConfig(num_peripherals=2, shadowing_sigma_db=3.0)
+        a = Testbed(cfg, seed=7)
+        sa = a.run_window(3)
+        assert a.medium.link_table.misses > 0
+        b = Testbed(cfg, seed=7)
+        sb = b.run_window(3)
+        # Same seed -> same shadowing draws -> identical ledger, even
+        # though each frame's key is a fresh shadowing realisation.
+        assert (sa.attempts, sa.delivered, sa.cca_blocked) == (
+            sb.attempts,
+            sb.delivered,
+            sb.cca_blocked,
+        )
